@@ -1,0 +1,94 @@
+//! Ablation benches for the design choices DESIGN.md calls out: warp
+//! count, bridge ordering, software-cache capacity, and CXL device count.
+//! These measure *simulated runtime* differences (reported via custom
+//! criterion measurements of the simulation itself running); the printed
+//! simulated-time ratios land on stderr for inspection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxlg_core::system::{AccessConfig, BackendConfig, SystemConfig};
+use cxlg_core::traversal::Traversal;
+use cxlg_graph::spec::GraphSpec;
+use cxlg_link::pcie::PcieGen;
+
+fn bench_warp_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_warps");
+    g.sample_size(10);
+    let graph = GraphSpec::urand(12).seed(1).build();
+    for warps in [64u32, 256, 768, 2048] {
+        let sys = SystemConfig::emogi_on_dram(PcieGen::Gen4).with_active_warps(warps);
+        g.bench_with_input(BenchmarkId::from_parameter(warps), &sys, |b, sys| {
+            b.iter(|| Traversal::bfs(0).run(&graph, sys).metrics.runtime)
+        });
+        let sim = Traversal::bfs(0).run(&graph, &sys).metrics.runtime;
+        eprintln!("[ablation] warps={warps}: simulated {:.3} ms", sim.as_secs_f64() * 1e3);
+    }
+    g.finish();
+}
+
+fn bench_bridge_ordering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_bridge");
+    g.sample_size(10);
+    let graph = GraphSpec::urand(12).seed(1).build();
+    for (label, ooo) in [("in_order", false), ("out_of_order", true)] {
+        let mut sys = SystemConfig::emogi_on_cxl(PcieGen::Gen3, 5).with_added_latency_us(2.0);
+        if ooo {
+            if let BackendConfig::CxlMem { dev, .. } = &mut sys.backend {
+                *dev = dev.out_of_order();
+            }
+        }
+        g.bench_with_input(BenchmarkId::from_parameter(label), &sys, |b, sys| {
+            b.iter(|| Traversal::bfs(0).run(&graph, sys).metrics.runtime)
+        });
+        let sim = Traversal::bfs(0).run(&graph, &sys).metrics.runtime;
+        eprintln!("[ablation] bridge {label}: simulated {:.3} ms", sim.as_secs_f64() * 1e3);
+    }
+    g.finish();
+}
+
+fn bench_cache_capacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_cache");
+    g.sample_size(10);
+    let graph = GraphSpec::urand(12).seed(1).build();
+    let edge_bytes = graph.num_edges() * 8;
+    for frac_denom in [16u64, 4, 1] {
+        let mut sys = SystemConfig::bam_on_nvme(PcieGen::Gen4, 4);
+        if let AccessConfig::SoftwareCache { capacity_bytes, .. } = &mut sys.access {
+            *capacity_bytes = Some((edge_bytes / frac_denom).max(4096 * 64));
+        }
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("1_{frac_denom}")),
+            &sys,
+            |b, sys| b.iter(|| Traversal::bfs(0).run(&graph, sys).metrics.raf()),
+        );
+        let raf = Traversal::bfs(0).run(&graph, &sys).metrics.raf();
+        eprintln!("[ablation] cache=edge/{frac_denom}: RAF {raf:.2}");
+    }
+    g.finish();
+}
+
+fn bench_device_count(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_cxl_devices");
+    g.sample_size(10);
+    let graph = GraphSpec::urand(12).seed(1).build();
+    for devices in [1u32, 2, 5] {
+        let sys = SystemConfig::emogi_on_cxl(PcieGen::Gen3, devices);
+        g.bench_with_input(BenchmarkId::from_parameter(devices), &sys, |b, sys| {
+            b.iter(|| Traversal::bfs(0).run(&graph, sys).metrics.runtime)
+        });
+        let sim = Traversal::bfs(0).run(&graph, &sys).metrics.runtime;
+        eprintln!(
+            "[ablation] cxl devices={devices}: simulated {:.3} ms",
+            sim.as_secs_f64() * 1e3
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_warp_ablation,
+    bench_bridge_ordering,
+    bench_cache_capacity,
+    bench_device_count
+);
+criterion_main!(benches);

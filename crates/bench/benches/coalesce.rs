@@ -1,0 +1,54 @@
+//! Criterion benches of the 32 B-sector coalescer — the per-sublist hot
+//! path of the EMOGI access method.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cxlg_gpu::coalesce::{coalesce_span, TransactionMix};
+use cxlg_graph::layout::ByteSpan;
+use std::hint::black_box;
+
+fn bench_coalesce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coalesce");
+    g.sample_size(30);
+    // Sublist sizes matching the paper's datasets: 256 B (urand),
+    // 536 B (kron), and a 2 kB hub.
+    for len in [256u64, 536, 2048] {
+        let spans: Vec<ByteSpan> = (0..1024u64)
+            .map(|i| ByteSpan {
+                offset: (i * 7919) % 100_000 * 8,
+                len,
+            })
+            .collect();
+        g.throughput(Throughput::Elements(spans.len() as u64));
+        g.bench_with_input(BenchmarkId::new("sublist", len), &spans, |b, spans| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for &s in spans {
+                    coalesce_span(s, 128, 32, |t| total += t.bytes);
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_mix_accounting(c: &mut Criterion) {
+    let spans: Vec<ByteSpan> = (0..1024u64)
+        .map(|i| ByteSpan {
+            offset: (i * 104729) % 1_000_000 * 8,
+            len: 32 + (i % 64) * 8,
+        })
+        .collect();
+    c.bench_function("coalesce_with_mix", |b| {
+        b.iter(|| {
+            let mut mix = TransactionMix::new(128, 32);
+            for &s in &spans {
+                coalesce_span(s, 128, 32, |t| mix.record(t));
+            }
+            black_box(mix.mean_bytes())
+        })
+    });
+}
+
+criterion_group!(benches, bench_coalesce, bench_mix_accounting);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benches of the (rayon-parallel) graph generators and CSR
+//! construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cxlg_graph::spec::GraphSpec;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("graph_gen");
+    g.sample_size(10);
+    let scale = 14u32;
+    for (label, spec) in [
+        ("urand", GraphSpec::urand(scale)),
+        ("kron", GraphSpec::kron(scale)),
+        ("social", GraphSpec::friendster_like(scale)),
+    ] {
+        g.throughput(Throughput::Elements(1u64 << scale));
+        g.bench_function(BenchmarkId::new("family", label), |b| {
+            b.iter(|| spec.seed(1).build().num_edges())
+        });
+    }
+    g.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    use cxlg_graph::builder::{csr_from_packed_arcs, pack_arc};
+    let mut g = c.benchmark_group("csr_build");
+    g.sample_size(10);
+    for scale in [12u32, 16] {
+        let n = 1usize << scale;
+        let arcs: Vec<u64> = (0..(n * 16) as u64)
+            .map(|i| {
+                let s = (i.wrapping_mul(0x9E3779B97F4A7C15) >> 40) % n as u64;
+                let d = (i.wrapping_mul(0xBF58476D1CE4E5B9) >> 40) % n as u64;
+                pack_arc(s as u32, d as u32)
+            })
+            .collect();
+        g.throughput(Throughput::Elements(arcs.len() as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(scale), &arcs, |b, arcs| {
+            b.iter(|| csr_from_packed_arcs(n, arcs.clone(), false).num_edges())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_csr_build);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches of the BaM-style software cache: hit and miss paths,
+//! and the RAF-simulation access loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cxlg_gpu::swcache::{SoftwareCache, SoftwareCacheConfig};
+use std::hint::black_box;
+
+fn bench_hits_and_misses(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swcache");
+    g.sample_size(20);
+    let n = 100_000u64;
+    g.throughput(Throughput::Elements(n));
+
+    // All-hit: working set fits.
+    g.bench_function("hot_hits", |b| {
+        let mut cache = SoftwareCache::new(SoftwareCacheConfig::new(1 << 24, 4096));
+        for line in 0..512 {
+            cache.access(line);
+        }
+        b.iter(|| {
+            for i in 0..n {
+                black_box(cache.access(i % 512));
+            }
+        })
+    });
+
+    // All-miss streaming: working set far exceeds capacity.
+    g.bench_function("cold_misses", |b| {
+        let mut cache = SoftwareCache::new(SoftwareCacheConfig::new(1 << 22, 4096));
+        let mut next = 0u64;
+        b.iter(|| {
+            for _ in 0..n {
+                next += 1;
+                black_box(cache.access(next));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_associativity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swcache_ways");
+    g.sample_size(20);
+    for ways in [4u32, 16, 64] {
+        let cfg = SoftwareCacheConfig {
+            capacity_bytes: 1 << 24,
+            line_bytes: 4096,
+            ways,
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(ways), &cfg, |b, cfg| {
+            let mut cache = SoftwareCache::new(*cfg);
+            let mut i = 0u64;
+            b.iter(|| {
+                // Mixed reuse pattern: ~50% hits.
+                for _ in 0..10_000 {
+                    i += 1;
+                    black_box(cache.access(i % 3000));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hits_and_misses, bench_associativity);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! # cxlg-bench — harness shared by the per-figure binaries
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index) and prints the same rows
+//! or series the paper reports, normalized the same way. Results are also
+//! dumped as JSON under `target/paper-results/` so EXPERIMENTS.md can be
+//! refreshed mechanically.
+//!
+//! Simulation scale is controlled by the `CXLG_SCALE` environment
+//! variable (log2 of the vertex count, default 16). The paper uses
+//! scale 27 with ~30 GB edge lists; any scale preserves the *shapes*
+//! under study because the model's behaviour is driven by degree
+//! structure and byte-level geometry, not absolute size.
+
+use cxlg_core::metrics::RunReport;
+use cxlg_graph::spec::GraphSpec;
+use serde::Serialize;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// log2 of the vertex count used by the figure binaries.
+pub fn bench_scale() -> u32 {
+    std::env::var("CXLG_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
+}
+
+/// Seed shared by the figure binaries (override with `CXLG_SEED`).
+pub fn bench_seed() -> u64 {
+    std::env::var("CXLG_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x5EED)
+}
+
+/// The three paper datasets at the bench scale.
+pub fn paper_datasets() -> [GraphSpec; 3] {
+    let scale = bench_scale();
+    let seed = bench_seed();
+    [
+        GraphSpec::urand(scale).seed(seed),
+        GraphSpec::kron(scale).seed(seed),
+        GraphSpec::friendster_like(scale).seed(seed),
+    ]
+}
+
+/// A BFS/SSSP source that reaches a large component: highest-degree
+/// vertex (robust for kron/social graphs with isolated vertices).
+pub fn good_source(g: &cxlg_graph::Csr) -> cxlg_graph::VertexId {
+    g.max_degree_vertex().unwrap_or(0)
+}
+
+/// Output directory for machine-readable results.
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("CXLG_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/paper-results"));
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Dump a serializable result as JSON next to the printed table.
+pub fn dump_json<T: Serialize>(name: &str, value: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    let mut f = std::fs::File::create(&path).expect("create result file");
+    let s = serde_json::to_string_pretty(value).expect("serialize result");
+    f.write_all(s.as_bytes()).expect("write result file");
+    eprintln!("[saved {}]", path.display());
+}
+
+/// Print a standard header for a figure binary.
+pub fn banner(experiment: &str, description: &str) {
+    println!("==============================================================");
+    println!("{experiment} — {description}");
+    println!(
+        "scale 2^{} vertices, seed {:#x} (paper: scale 2^27)",
+        bench_scale(),
+        bench_seed()
+    );
+    println!("==============================================================");
+}
+
+/// One-line summary of a run for tables.
+pub fn run_summary(r: &RunReport) -> String {
+    format!(
+        "t={:>10.3} ms  D={:>8.1} MB  RAF={:>5.2}  d̄={:>6.1} B  T={:>8.0} MB/s  reqs={}",
+        r.metrics.runtime.as_secs_f64() * 1e3,
+        r.metrics.fetched_bytes as f64 / 1e6,
+        r.metrics.raf(),
+        r.metrics.mean_transfer_bytes(),
+        r.metrics.throughput_mb_per_sec(),
+        r.metrics.requests,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_env_parsing_defaults() {
+        // No env manipulation (tests run in parallel); just check the
+        // default path yields a sane value.
+        let s = bench_scale();
+        assert!((8..=30).contains(&s));
+    }
+
+    #[test]
+    fn datasets_cover_the_paper_trio() {
+        let ds = paper_datasets();
+        assert!(ds[0].name().starts_with("urand"));
+        assert!(ds[1].name().starts_with("kron"));
+        assert!(ds[2].name().starts_with("friendster"));
+    }
+
+    #[test]
+    fn good_source_prefers_hubs() {
+        let g = GraphSpec::kron(8).seed(1).build();
+        let s = good_source(&g);
+        assert!(g.degree(s) > 0);
+        let max = (0..g.num_vertices() as u32).map(|v| g.degree(v)).max().unwrap();
+        assert_eq!(g.degree(s), max);
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-run measurements: everything the paper's figures plot.
+//!
+//! The fundamental identity is Equation 1, `t = D / T`: a run's total
+//! fetched bytes `D`, its useful bytes `E` (sum of edge-sublist sizes),
+//! their ratio `RAF = D / E` (§3.1), the achieved throughput `T`, and the
+//! mean transfer size `d = D / requests` (§3.2) are all first-class here.
+
+use cxlg_sim::{OnlineStats, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Aggregate measurements for one traversal (or microbenchmark) run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// End-to-end simulated runtime (`t` in Equation 1).
+    pub runtime: SimDuration,
+    /// Useful bytes: the sum of edge-sublist sizes the algorithm needed
+    /// (`E` in §3.1).
+    pub useful_bytes: u64,
+    /// Bytes actually fetched from the external memory (`D` in Eq. 1).
+    pub fetched_bytes: u64,
+    /// Device read requests issued.
+    pub requests: u64,
+    /// Cache hits (BaM access method only; zero otherwise).
+    pub cache_hits: u64,
+    /// Mean observed request latency (issue to last byte at the GPU).
+    pub latency: OnlineStats,
+    /// Time-averaged outstanding requests on the GPU link (`N` of
+    /// Little's Law, Eq. 3).
+    pub mean_outstanding: f64,
+    /// Peak outstanding requests.
+    pub peak_outstanding: u64,
+}
+
+impl RunMetrics {
+    /// Read amplification factor `D / E` (§3.1). Returns `NaN` when no
+    /// useful bytes were requested.
+    pub fn raf(&self) -> f64 {
+        self.fetched_bytes as f64 / self.useful_bytes as f64
+    }
+
+    /// Mean data transfer size per request, `d = D / requests` (§3.2).
+    pub fn mean_transfer_bytes(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.fetched_bytes as f64 / self.requests as f64
+        }
+    }
+
+    /// Achieved throughput `T = D / t` in MB/s.
+    pub fn throughput_mb_per_sec(&self) -> f64 {
+        let secs = self.runtime.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.fetched_bytes as f64 / 1e6 / secs
+        }
+    }
+
+    /// Achieved request rate in MIOPS.
+    pub fn miops(&self) -> f64 {
+        let secs = self.runtime.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / 1e6 / secs
+        }
+    }
+
+    /// Merge a batch's metrics into the run totals.
+    pub fn absorb(&mut self, other: &RunMetrics) {
+        self.runtime += other.runtime;
+        self.useful_bytes += other.useful_bytes;
+        self.fetched_bytes += other.fetched_bytes;
+        self.requests += other.requests;
+        self.cache_hits += other.cache_hits;
+        self.latency.merge(&other.latency);
+        // Time-weight the outstanding averages by batch runtime.
+        let (a, b) = (
+            (self.runtime - other.runtime).as_secs_f64(),
+            other.runtime.as_secs_f64(),
+        );
+        if a + b > 0.0 {
+            self.mean_outstanding =
+                (self.mean_outstanding * a + other.mean_outstanding * b) / (a + b);
+        }
+        self.peak_outstanding = self.peak_outstanding.max(other.peak_outstanding);
+    }
+}
+
+/// Per-traversal-level (per BFS depth / SSSP round) statistics — Table 2
+/// of the paper reports the frontier column.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// Depth / round index (source level is 0).
+    pub depth: u32,
+    /// Vertices in the frontier at this level.
+    pub frontier: u64,
+    /// Useful bytes read for this level.
+    pub useful_bytes: u64,
+    /// Fetched bytes for this level.
+    pub fetched_bytes: u64,
+    /// Simulated time spent in this level.
+    pub runtime: SimDuration,
+}
+
+/// Full result of one traversal run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Aggregate metrics.
+    pub metrics: RunMetrics,
+    /// Per-level breakdown.
+    pub levels: Vec<LevelStats>,
+    /// Vertices reached (BFS/SSSP/CC) or processed (PageRank).
+    pub reached: u64,
+    /// Workload name for display.
+    pub workload: String,
+    /// Backend name for display.
+    pub backend: String,
+}
+
+impl RunReport {
+    /// Total traversal depth (levels with non-empty frontiers).
+    pub fn depth(&self) -> u32 {
+        self.levels.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxlg_sim::SimDuration;
+
+    fn metrics(runtime_us: f64, useful: u64, fetched: u64, reqs: u64) -> RunMetrics {
+        RunMetrics {
+            runtime: SimDuration::from_us(runtime_us),
+            useful_bytes: useful,
+            fetched_bytes: fetched,
+            requests: reqs,
+            ..RunMetrics::default()
+        }
+    }
+
+    #[test]
+    fn raf_is_d_over_e() {
+        let m = metrics(1.0, 1000, 2500, 10);
+        assert!((m.raf() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_transfer_is_d_over_requests() {
+        let m = metrics(1.0, 1000, 4096, 32);
+        assert!((m.mean_transfer_bytes() - 128.0).abs() < 1e-12);
+        let empty = metrics(1.0, 0, 0, 0);
+        assert_eq!(empty.mean_transfer_bytes(), 0.0);
+    }
+
+    #[test]
+    fn throughput_is_d_over_t() {
+        // 24,000 bytes in 1 us = 24,000 MB/s.
+        let m = metrics(1.0, 24_000, 24_000, 10);
+        assert!((m.throughput_mb_per_sec() - 24_000.0).abs() < 1e-6);
+        assert!((m.miops() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absorb_accumulates_and_time_weights() {
+        let mut a = metrics(1.0, 100, 200, 2);
+        a.mean_outstanding = 10.0;
+        let mut b = metrics(3.0, 300, 400, 4);
+        b.mean_outstanding = 30.0;
+        b.peak_outstanding = 77;
+        a.absorb(&b);
+        assert_eq!(a.runtime.as_us_f64(), 4.0);
+        assert_eq!(a.useful_bytes, 400);
+        assert_eq!(a.fetched_bytes, 600);
+        assert_eq!(a.requests, 6);
+        // Time-weighted: (10 * 1 + 30 * 3) / 4 = 25.
+        assert!((a.mean_outstanding - 25.0).abs() < 1e-9);
+        assert_eq!(a.peak_outstanding, 77);
+    }
+
+    #[test]
+    fn report_depth() {
+        let report = RunReport {
+            metrics: RunMetrics::default(),
+            levels: vec![
+                LevelStats {
+                    depth: 0,
+                    frontier: 1,
+                    useful_bytes: 0,
+                    fetched_bytes: 0,
+                    runtime: SimDuration::ZERO,
+                },
+                LevelStats {
+                    depth: 1,
+                    frontier: 31,
+                    useful_bytes: 0,
+                    fetched_bytes: 0,
+                    runtime: SimDuration::ZERO,
+                },
+            ],
+            reached: 32,
+            workload: "bfs".into(),
+            backend: "host-dram".into(),
+        };
+        assert_eq!(report.depth(), 2);
+    }
+}

@@ -1,0 +1,124 @@
+//! Rayon-parallel parameter sweeps.
+//!
+//! Every simulation point is deterministic and single-threaded, so the
+//! figure harnesses fan sweep points out across cores with rayon and the
+//! results are identical to a sequential run — the guideline-recommended
+//! "convert the outer loop to `par_iter`" shape for embarrassingly
+//! parallel work.
+
+use crate::metrics::RunReport;
+use crate::system::SystemConfig;
+use crate::traversal::Traversal;
+use cxlg_graph::Csr;
+use rayon::prelude::*;
+
+/// Run one traversal over many system configurations in parallel,
+/// preserving input order.
+pub fn sweep_systems(
+    graph: &Csr,
+    traversal: Traversal,
+    systems: &[SystemConfig],
+) -> Vec<RunReport> {
+    systems
+        .par_iter()
+        .map(|sys| traversal.run(graph, sys))
+        .collect()
+}
+
+/// Run many `(label, graph, traversal, system)` points in parallel.
+/// The generic point type keeps harness code declarative.
+pub fn sweep<P, R, F>(points: Vec<P>, f: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(P) -> R + Sync + Send,
+{
+    points.into_par_iter().map(f).collect()
+}
+
+/// A labelled runtime measurement, the common shape of the paper's
+/// normalized-runtime figures.
+#[derive(Debug, Clone)]
+pub struct LabelledRun {
+    /// Point label (e.g. "+1.0us", "64 B").
+    pub label: String,
+    /// The run's report.
+    pub report: RunReport,
+}
+
+/// Normalize a set of runtimes by a baseline runtime (the paper
+/// normalizes XLFDD/BaM by EMOGI, and CXL by host DRAM).
+pub fn normalized_runtimes(baseline: &RunReport, runs: &[LabelledRun]) -> Vec<(String, f64)> {
+    let base = baseline.metrics.runtime.as_secs_f64();
+    runs.iter()
+        .map(|r| {
+            (
+                r.label.clone(),
+                r.report.metrics.runtime.as_secs_f64() / base,
+            )
+        })
+        .collect()
+}
+
+/// Geometric mean of ratios — the paper summarizes Fig. 6 as geometric
+/// means ("1.13 times longer on average, where the geometric mean is
+/// taken over all the six pairs").
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geometric mean of nothing");
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    (log_sum / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxlg_graph::spec::GraphSpec;
+    use cxlg_link::pcie::PcieGen;
+    use cxlg_sim::SimDuration;
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let g = GraphSpec::urand(8).seed(1).build();
+        let systems = vec![
+            SystemConfig::emogi_on_dram(PcieGen::Gen4),
+            SystemConfig::emogi_on_cxl(PcieGen::Gen3, 5),
+        ];
+        let par = sweep_systems(&g, Traversal::bfs(0), &systems);
+        let seq: Vec<_> = systems
+            .iter()
+            .map(|s| Traversal::bfs(0).run(&g, s))
+            .collect();
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.metrics.runtime, b.metrics.runtime);
+            assert_eq!(a.metrics.fetched_bytes, b.metrics.fetched_bytes);
+        }
+    }
+
+    #[test]
+    fn sweep_preserves_order() {
+        let out = sweep(vec![3u64, 1, 4, 1, 5], |x| x * 10);
+        assert_eq!(out, vec![30, 10, 40, 10, 50]);
+    }
+
+    #[test]
+    fn geometric_mean_of_paper_example() {
+        // geomean(1, 4) = 2; invariant to permutation.
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_against_baseline() {
+        let g = GraphSpec::urand(8).seed(1).build();
+        let base = Traversal::bfs(0).run(&g, &SystemConfig::emogi_on_dram(PcieGen::Gen4));
+        let mut slow = base.clone();
+        slow.metrics.runtime = SimDuration::from_ps(base.metrics.runtime.as_ps() * 2);
+        let runs = vec![LabelledRun {
+            label: "slow".into(),
+            report: slow,
+        }];
+        let norm = normalized_runtimes(&base, &runs);
+        assert!((norm[0].1 - 2.0).abs() < 1e-9);
+    }
+}

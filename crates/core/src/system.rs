@@ -1,0 +1,460 @@
+//! Whole-system configuration: one GPU + link + topology + external
+//! memory backend + access method, with presets for every configuration
+//! the paper evaluates.
+
+use crate::access::AccessMethod;
+use crate::engine::{Engine, EngineConfig, RequestPath};
+use cxlg_device::cxl_mem::{CxlMemConfig, CxlMemDevice};
+use cxlg_device::dram::{HostDram, HostDramConfig};
+use cxlg_device::interleave::{DeviceArray, Interleave};
+use cxlg_device::nvme::{NvmeConfig, NvmeSsd};
+use cxlg_device::xlfdd::{XlfddConfig, XlfddDrive};
+use cxlg_gpu::bar::SubmissionQueueModel;
+use cxlg_gpu::config::GpuConfig;
+use cxlg_link::pcie::{PcieGen, PcieLinkConfig};
+use cxlg_link::topology::{DevicePlacement, Topology};
+use serde::{Deserialize, Serialize};
+
+/// Which external memory backs the edge list.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BackendConfig {
+    /// Host DRAM (EMOGI's native target).
+    HostDram {
+        /// DRAM parameters.
+        dram: HostDramConfig,
+        /// Socket placement (DRAM 0 vs DRAM 1 in Fig. 8).
+        placement: DevicePlacement,
+    },
+    /// CXL memory expanders (the §4.2 prototype), page-interleaved.
+    CxlMem {
+        /// Per-device parameters (including the added latency).
+        dev: CxlMemConfig,
+        /// Number of devices (the paper uses 5).
+        devices: u32,
+        /// Interleave granularity (4 kB NUMA pages).
+        interleave_bytes: u64,
+        /// Socket placement.
+        placement: DevicePlacement,
+    },
+    /// XLFDD microsecond-flash drives (§4.1), striped.
+    Xlfdd {
+        /// Per-drive parameters.
+        dev: XlfddConfig,
+        /// Number of drives (the paper uses 16).
+        drives: u32,
+        /// Stripe granularity.
+        interleave_bytes: u64,
+    },
+    /// Conventional NVMe SSDs (BaM's storage), striped.
+    Nvme {
+        /// Per-drive parameters.
+        dev: NvmeConfig,
+        /// Number of drives (BaM uses 4).
+        drives: u32,
+        /// Stripe granularity.
+        interleave_bytes: u64,
+    },
+}
+
+impl BackendConfig {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendConfig::HostDram { .. } => "host-dram",
+            BackendConfig::CxlMem { .. } => "cxl-mem",
+            BackendConfig::Xlfdd { .. } => "xlfdd",
+            BackendConfig::Nvme { .. } => "nvme",
+        }
+    }
+}
+
+/// How the GPU turns sublist reads into device requests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AccessConfig {
+    /// EMOGI zero-copy (memory backends).
+    ZeroCopy,
+    /// BaM software cache with line size `line_bytes` and optional
+    /// explicit capacity (default: a quarter of the edge list, modelling
+    /// a GPU-memory cache smaller than the graph).
+    SoftwareCache {
+        /// Cache line size = device access alignment.
+        line_bytes: u64,
+        /// Capacity override in bytes.
+        capacity_bytes: Option<u64>,
+    },
+    /// XLFDD-direct whole-sublist reads at the given alignment.
+    Direct {
+        /// Request address alignment.
+        alignment: u64,
+    },
+    /// Unified-virtual-memory paging (the pre-EMOGI baseline, §6), with
+    /// an optional residency budget (default: a quarter of the edge
+    /// list, like the BaM cache default).
+    Uvm {
+        /// GPU memory devoted to migrated pages.
+        resident_bytes: Option<u64>,
+    },
+}
+
+/// A complete simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// GPU parameters.
+    pub gpu: GpuConfig,
+    /// The GPU's PCIe link.
+    pub link: PcieLinkConfig,
+    /// Socket topology.
+    pub topology: Topology,
+    /// External memory backend.
+    pub backend: BackendConfig,
+    /// Access method.
+    pub access: AccessConfig,
+}
+
+impl SystemConfig {
+    /// EMOGI on host DRAM attached to the GPU's socket — the baseline
+    /// every figure normalizes against.
+    pub fn emogi_on_dram(gen: PcieGen) -> Self {
+        SystemConfig {
+            gpu: GpuConfig::default(),
+            link: PcieLinkConfig::x16(gen),
+            topology: Topology::default(),
+            backend: BackendConfig::HostDram {
+                dram: HostDramConfig::default(),
+                placement: DevicePlacement::near(),
+            },
+            access: AccessConfig::ZeroCopy,
+        }
+    }
+
+    /// UVM paging on host DRAM — the Related-Work baseline that EMOGI's
+    /// zero-copy access replaces.
+    pub fn uvm_on_dram(gen: PcieGen) -> Self {
+        SystemConfig {
+            gpu: GpuConfig::default(),
+            link: PcieLinkConfig::x16(gen),
+            topology: Topology::default(),
+            backend: BackendConfig::HostDram {
+                dram: HostDramConfig::default(),
+                placement: DevicePlacement::near(),
+            },
+            access: AccessConfig::Uvm {
+                resident_bytes: None,
+            },
+        }
+    }
+
+    /// EMOGI on `devices` CXL memory expanders (§4.2.3 uses Gen3 + 5
+    /// devices so the PCIe link, not the prototype, is the concurrency
+    /// bottleneck).
+    pub fn emogi_on_cxl(gen: PcieGen, devices: u32) -> Self {
+        SystemConfig {
+            gpu: GpuConfig::default(),
+            link: PcieLinkConfig::x16(gen),
+            topology: Topology::default(),
+            backend: BackendConfig::CxlMem {
+                dev: CxlMemConfig::default(),
+                devices,
+                interleave_bytes: 4096,
+                placement: DevicePlacement::near(),
+            },
+            access: AccessConfig::ZeroCopy,
+        }
+    }
+
+    /// BaM on NVMe SSDs with a 4 kB software cache line (§3.3.2).
+    pub fn bam_on_nvme(gen: PcieGen, drives: u32) -> Self {
+        SystemConfig {
+            gpu: GpuConfig::default(),
+            link: PcieLinkConfig::x16(gen),
+            topology: Topology::default(),
+            backend: BackendConfig::Nvme {
+                dev: NvmeConfig::default(),
+                drives,
+                interleave_bytes: 4096,
+            },
+            access: AccessConfig::SoftwareCache {
+                line_bytes: 4096,
+                capacity_bytes: None,
+            },
+        }
+    }
+
+    /// The XLFDD system of §4.1: 16 drives, direct access at 16 B.
+    pub fn xlfdd(gen: PcieGen, drives: u32) -> Self {
+        SystemConfig {
+            gpu: GpuConfig::default(),
+            link: PcieLinkConfig::x16(gen),
+            topology: Topology::default(),
+            backend: BackendConfig::Xlfdd {
+                dev: XlfddConfig::default(),
+                drives,
+                interleave_bytes: 4096,
+            },
+            access: AccessConfig::Direct { alignment: 16 },
+        }
+    }
+
+    /// Adjust the CXL latency bridge (no-op for other backends).
+    pub fn with_added_latency_us(mut self, us: f64) -> Self {
+        if let BackendConfig::CxlMem { dev, .. } = &mut self.backend {
+            *dev = dev.with_added_latency_us(us);
+        }
+        self
+    }
+
+    /// Override the access alignment: for `Direct` and `SoftwareCache`
+    /// methods this is the Fig. 5 sweep variable.
+    pub fn with_alignment(mut self, alignment: u64) -> Self {
+        match &mut self.access {
+            AccessConfig::ZeroCopy | AccessConfig::Uvm { .. } => {}
+            AccessConfig::SoftwareCache { line_bytes, .. } => *line_bytes = alignment,
+            AccessConfig::Direct { alignment: a } => *a = alignment,
+        }
+        self
+    }
+
+    /// Override the active warp count (ablation).
+    pub fn with_active_warps(mut self, warps: u32) -> Self {
+        self.gpu = self.gpu.with_active_warps(warps);
+        self
+    }
+
+    /// Place the backend on the far socket (Fig. 9's DRAM 0 / CXL 0).
+    pub fn on_far_socket(mut self) -> Self {
+        match &mut self.backend {
+            BackendConfig::HostDram { placement, .. }
+            | BackendConfig::CxlMem { placement, .. } => *placement = DevicePlacement::far(),
+            _ => {}
+        }
+        self
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> String {
+        format!("{}:{}", self.backend.name(), self.access_name())
+    }
+
+    fn access_name(&self) -> &'static str {
+        match self.access {
+            AccessConfig::ZeroCopy => "emogi",
+            AccessConfig::SoftwareCache { .. } => "bam",
+            AccessConfig::Direct { .. } => "direct",
+            AccessConfig::Uvm { .. } => "uvm",
+        }
+    }
+
+    /// Concurrency credits for the engine: PCIe `Nmax` for memory
+    /// backends, aggregate queue depth for storage (§3.2).
+    pub fn credits(&self) -> u64 {
+        match &self.backend {
+            BackendConfig::HostDram { .. } | BackendConfig::CxlMem { .. } => self.link.nmax(),
+            BackendConfig::Xlfdd { drives, .. } => {
+                SubmissionQueueModel::xlfdd().total_depth(*drives)
+            }
+            BackendConfig::Nvme { drives, .. } => {
+                SubmissionQueueModel::nvme().total_depth(*drives)
+            }
+        }
+    }
+
+    /// Build the execution engine (device instances + link state).
+    pub fn build_engine(&self) -> Engine {
+        let (backend, path, placement): (Box<dyn cxlg_device::target::MemoryTarget>, _, _) =
+            match &self.backend {
+                BackendConfig::HostDram { dram, placement } => (
+                    Box::new(HostDram::new(*dram)),
+                    RequestPath::Memory,
+                    Some(*placement),
+                ),
+                BackendConfig::CxlMem {
+                    dev,
+                    devices,
+                    interleave_bytes,
+                    placement,
+                } => {
+                    let devs: Vec<CxlMemDevice> =
+                        (0..*devices).map(|_| CxlMemDevice::new(*dev)).collect();
+                    (
+                        Box::new(DeviceArray::new(
+                            devs,
+                            Interleave::new(*interleave_bytes, *devices),
+                        )),
+                        RequestPath::Memory,
+                        Some(*placement),
+                    )
+                }
+                BackendConfig::Xlfdd {
+                    dev,
+                    drives,
+                    interleave_bytes,
+                } => {
+                    let sq = SubmissionQueueModel::xlfdd();
+                    let devs: Vec<XlfddDrive> = (0..*drives)
+                        .map(|i| XlfddDrive::new(*dev, i as u64 + 1))
+                        .collect();
+                    (
+                        Box::new(DeviceArray::new(
+                            devs,
+                            Interleave::new(*interleave_bytes, *drives),
+                        )),
+                        RequestPath::Storage {
+                            entry_bytes: sq.entry_bytes,
+                            completion_bytes: sq.completion_bytes,
+                        },
+                        None,
+                    )
+                }
+                BackendConfig::Nvme {
+                    dev,
+                    drives,
+                    interleave_bytes,
+                } => {
+                    let sq = SubmissionQueueModel::nvme();
+                    let devs: Vec<NvmeSsd> = (0..*drives)
+                        .map(|i| NvmeSsd::new(*dev, i as u64 + 1))
+                        .collect();
+                    (
+                        Box::new(DeviceArray::new(
+                            devs,
+                            Interleave::new(*interleave_bytes, *drives),
+                        )),
+                        RequestPath::Storage {
+                            entry_bytes: sq.entry_bytes,
+                            completion_bytes: sq.completion_bytes,
+                        },
+                        None,
+                    )
+                }
+            };
+        let socket_penalty = placement
+            .map(|p| self.topology.socket_penalty(p))
+            .unwrap_or(cxlg_sim::SimDuration::ZERO);
+        Engine::new(
+            EngineConfig {
+                gpu: self.gpu,
+                link: self.link,
+                credits: self.credits(),
+                socket_penalty,
+                path,
+            },
+            backend,
+        )
+    }
+
+    /// Build the access method. `edge_list_bytes` sizes the default BaM
+    /// cache (a quarter of the edge list).
+    pub fn build_access(&self, edge_list_bytes: u64) -> AccessMethod {
+        match self.access {
+            AccessConfig::ZeroCopy => AccessMethod::emogi(),
+            AccessConfig::SoftwareCache {
+                line_bytes,
+                capacity_bytes,
+            } => {
+                let capacity =
+                    capacity_bytes.unwrap_or((edge_list_bytes / 4).max(line_bytes * 64));
+                AccessMethod::bam(capacity, line_bytes)
+            }
+            AccessConfig::Direct { alignment } => AccessMethod::xlfdd_direct(alignment),
+            AccessConfig::Uvm { resident_bytes } => {
+                let resident = resident_bytes.unwrap_or((edge_list_bytes / 4).max(4096 * 256));
+                AccessMethod::uvm(resident)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_paper_credit_limits() {
+        assert_eq!(SystemConfig::emogi_on_dram(PcieGen::Gen4).credits(), 768);
+        assert_eq!(SystemConfig::emogi_on_cxl(PcieGen::Gen3, 5).credits(), 256);
+        // Storage concurrency comes from queue depth, not Nmax.
+        assert!(SystemConfig::xlfdd(PcieGen::Gen4, 16).credits() > 768);
+        assert!(SystemConfig::bam_on_nvme(PcieGen::Gen4, 4).credits() > 768);
+    }
+
+    #[test]
+    fn added_latency_applies_to_cxl_only() {
+        let cxl = SystemConfig::emogi_on_cxl(PcieGen::Gen3, 5).with_added_latency_us(2.0);
+        match cxl.backend {
+            BackendConfig::CxlMem { dev, .. } => {
+                assert!((dev.added_latency().as_us_f64() - 2.0).abs() < 1e-9)
+            }
+            _ => panic!("wrong backend"),
+        }
+        // No-op on DRAM.
+        let dram = SystemConfig::emogi_on_dram(PcieGen::Gen4).with_added_latency_us(2.0);
+        assert!(matches!(dram.backend, BackendConfig::HostDram { .. }));
+    }
+
+    #[test]
+    fn alignment_override_applies_to_direct_and_bam() {
+        let x = SystemConfig::xlfdd(PcieGen::Gen4, 16).with_alignment(256);
+        assert!(matches!(x.access, AccessConfig::Direct { alignment: 256 }));
+        let b = SystemConfig::bam_on_nvme(PcieGen::Gen4, 4).with_alignment(512);
+        assert!(matches!(
+            b.access,
+            AccessConfig::SoftwareCache {
+                line_bytes: 512,
+                ..
+            }
+        ));
+        // Zero-copy alignment is fixed by the GPU architecture.
+        let e = SystemConfig::emogi_on_dram(PcieGen::Gen4).with_alignment(64);
+        assert!(matches!(e.access, AccessConfig::ZeroCopy));
+    }
+
+    #[test]
+    fn engines_build_for_all_backends() {
+        for sys in [
+            SystemConfig::emogi_on_dram(PcieGen::Gen4),
+            SystemConfig::emogi_on_cxl(PcieGen::Gen3, 5),
+            SystemConfig::bam_on_nvme(PcieGen::Gen4, 4),
+            SystemConfig::xlfdd(PcieGen::Gen4, 16),
+        ] {
+            let e = sys.build_engine();
+            assert_eq!(e.credit_limit(), sys.credits());
+        }
+    }
+
+    #[test]
+    fn bam_cache_defaults_to_quarter_of_edge_list() {
+        let sys = SystemConfig::bam_on_nvme(PcieGen::Gen4, 4);
+        let access = sys.build_access(400 << 20);
+        match access {
+            crate::access::AccessMethod::SoftwareCache { cache } => {
+                assert_eq!(cache.config().capacity_bytes, 100 << 20);
+                assert_eq!(cache.config().line_bytes, 4096);
+            }
+            _ => panic!("expected software cache"),
+        }
+    }
+
+    #[test]
+    fn far_socket_placement() {
+        let sys = SystemConfig::emogi_on_dram(PcieGen::Gen4).on_far_socket();
+        match sys.backend {
+            BackendConfig::HostDram { placement, .. } => {
+                assert_eq!(placement, DevicePlacement::far())
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(
+            SystemConfig::emogi_on_dram(PcieGen::Gen4).label(),
+            "host-dram:emogi"
+        );
+        assert_eq!(SystemConfig::xlfdd(PcieGen::Gen4, 16).label(), "xlfdd:direct");
+        assert_eq!(
+            SystemConfig::bam_on_nvme(PcieGen::Gen4, 4).label(),
+            "nvme:bam"
+        );
+    }
+}

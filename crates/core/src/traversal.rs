@@ -1,0 +1,476 @@
+//! Graph traversal workloads executed against the simulated system.
+//!
+//! BFS and SSSP are the paper's representative "fine-grained random
+//! access" workloads (§2.1, §4): level-synchronous kernels in which each
+//! frontier vertex's edge sublist is fetched on demand from external
+//! memory. PageRank and connected components are implemented as
+//! extensions (the Discussion section contrasts sequential-access
+//! algorithms like PageRank with the random-access ones studied here).
+//!
+//! The algorithm logic is deliberately split from timing: a *trace*
+//! generator produces per-level frontiers (pure graph computation), and
+//! the timed run feeds those frontiers' sublists through the access
+//! method and the DES engine. The RAF simulation (`raf.rs`) reuses the
+//! same traces, so Figure 3 and the runtime figures see identical access
+//! orders.
+
+use crate::access::DeviceRequest;
+use crate::metrics::{LevelStats, RunMetrics, RunReport};
+use crate::system::SystemConfig;
+use cxlg_graph::layout::EdgeListLayout;
+use cxlg_graph::{Csr, VertexId};
+use cxlg_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Which algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Workload {
+    /// Breadth-first search from a source vertex.
+    Bfs {
+        /// Source vertex.
+        source: VertexId,
+    },
+    /// Single-source shortest path (frontier-based Bellman–Ford, as in
+    /// EMOGI) with deterministic integer weights in `[1, max_weight]`.
+    Sssp {
+        /// Source vertex.
+        source: VertexId,
+        /// Largest edge weight.
+        max_weight: u32,
+    },
+    /// PageRank-style full-edge-list sweeps (sequential access pattern).
+    PageRank {
+        /// Number of iterations.
+        iterations: u32,
+    },
+    /// Connected components via label propagation.
+    ConnectedComponents,
+}
+
+/// A configured traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Traversal {
+    /// The workload to execute.
+    pub workload: Workload,
+}
+
+impl Traversal {
+    /// BFS from `source`.
+    pub fn bfs(source: VertexId) -> Self {
+        Traversal {
+            workload: Workload::Bfs { source },
+        }
+    }
+
+    /// SSSP from `source` with the paper-style weight range `[1, 64]`.
+    pub fn sssp(source: VertexId) -> Self {
+        Traversal {
+            workload: Workload::Sssp {
+                source,
+                max_weight: 64,
+            },
+        }
+    }
+
+    /// PageRank with `iterations` full sweeps.
+    pub fn pagerank(iterations: u32) -> Self {
+        Traversal {
+            workload: Workload::PageRank { iterations },
+        }
+    }
+
+    /// Connected components.
+    pub fn connected_components() -> Self {
+        Traversal {
+            workload: Workload::ConnectedComponents,
+        }
+    }
+
+    /// Workload name for reports.
+    pub fn name(&self) -> &'static str {
+        match self.workload {
+            Workload::Bfs { .. } => "bfs",
+            Workload::Sssp { .. } => "sssp",
+            Workload::PageRank { .. } => "pagerank",
+            Workload::ConnectedComponents => "cc",
+        }
+    }
+
+    /// Generate the per-level vertex frontiers without timing anything.
+    /// Each level lists the vertices whose sublists are read, in the
+    /// (sorted) order the GPU kernel would process them.
+    pub fn trace(&self, g: &Csr) -> Vec<Vec<VertexId>> {
+        match self.workload {
+            Workload::Bfs { source } => bfs_trace(g, source),
+            Workload::Sssp { source, max_weight } => sssp_trace(g, source, max_weight),
+            Workload::PageRank { iterations } => pagerank_trace(g, iterations),
+            Workload::ConnectedComponents => cc_trace(g).0,
+        }
+    }
+
+    /// Run the workload on a simulated system, producing full metrics.
+    pub fn run(&self, g: &Csr, sys: &SystemConfig) -> RunReport {
+        let layout = EdgeListLayout::new(g);
+        let mut engine = sys.build_engine();
+        let mut access = sys.build_access(layout.edge_list_bytes());
+
+        let (levels_vertices, reached) = match self.workload {
+            Workload::Bfs { source } => {
+                let t = bfs_trace(g, source);
+                let reached: u64 = t.iter().map(|l| l.len() as u64).sum();
+                (t, reached)
+            }
+            Workload::Sssp { source, max_weight } => {
+                let t = sssp_trace(g, source, max_weight);
+                let reached = sssp_reached(g, source, max_weight);
+                (t, reached)
+            }
+            Workload::PageRank { iterations } => {
+                let t = pagerank_trace(g, iterations);
+                (t, g.num_vertices() as u64)
+            }
+            Workload::ConnectedComponents => {
+                let (t, components) = cc_trace(g);
+                (t, components)
+            }
+        };
+
+        let mut levels = Vec::with_capacity(levels_vertices.len());
+        let mut t = SimTime::ZERO;
+        let mut reqs: Vec<DeviceRequest> = Vec::new();
+        let mut total_useful = 0u64;
+        let mut total_hits = 0u64;
+        for (depth, frontier) in levels_vertices.iter().enumerate() {
+            reqs.clear();
+            access.begin_level();
+            let mut useful = 0u64;
+            let mut hits = 0u64;
+            for &v in frontier {
+                let span = layout.sublist_span(v);
+                useful += span.len;
+                hits += access.requests_for_span(span, &mut reqs);
+            }
+            let level_start = t;
+            let batch = engine.run_batch(t, &reqs);
+            t = batch.end;
+            levels.push(LevelStats {
+                depth: depth as u32,
+                frontier: frontier.len() as u64,
+                useful_bytes: useful,
+                fetched_bytes: batch.fetched_bytes,
+                runtime: t.saturating_since(level_start),
+            });
+            total_useful += useful;
+            total_hits += hits;
+        }
+
+        let mut metrics: RunMetrics = engine.finish();
+        metrics.useful_bytes = total_useful;
+        metrics.cache_hits = total_hits;
+        metrics.runtime = t.saturating_since(SimTime::ZERO);
+
+        RunReport {
+            metrics,
+            levels,
+            reached,
+            workload: self.name().to_string(),
+            backend: sys.label(),
+        }
+    }
+}
+
+/// Level-synchronous BFS frontier trace. Frontiers are sorted by vertex
+/// ID, matching GPU kernels that compact the frontier from status arrays.
+pub fn bfs_trace(g: &Csr, source: VertexId) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut visited = vec![false; n];
+    visited[source as usize] = true;
+    let mut frontier = vec![source];
+    let mut levels = Vec::new();
+    while !frontier.is_empty() {
+        levels.push(frontier.clone());
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &u in g.neighbors(v) {
+                if !visited[u as usize] {
+                    visited[u as usize] = true;
+                    next.push(u);
+                }
+            }
+        }
+        next.sort_unstable();
+        frontier = next;
+    }
+    levels
+}
+
+/// Frontier-based Bellman–Ford rounds: each round reads the sublists of
+/// vertices whose distance improved in the previous round.
+pub fn sssp_trace(g: &Csr, source: VertexId, max_weight: u32) -> Vec<Vec<VertexId>> {
+    let n = g.num_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut dist = vec![u64::MAX; n];
+    dist[source as usize] = 0;
+    let mut frontier = vec![source];
+    let mut rounds = Vec::new();
+    while !frontier.is_empty() {
+        rounds.push(frontier.clone());
+        let mut improved = Vec::new();
+        for &v in &frontier {
+            let dv = dist[v as usize];
+            for &u in g.neighbors(v) {
+                let w = g.edge_weight(v, u, max_weight) as u64;
+                if dv + w < dist[u as usize] {
+                    dist[u as usize] = dv + w;
+                    improved.push(u);
+                }
+            }
+        }
+        improved.sort_unstable();
+        improved.dedup();
+        frontier = improved;
+    }
+    rounds
+}
+
+fn sssp_reached(g: &Csr, source: VertexId, max_weight: u32) -> u64 {
+    // Re-derive final distances to count reached vertices.
+    let n = g.num_vertices();
+    let mut dist = vec![u64::MAX; n];
+    dist[source as usize] = 0;
+    let mut frontier = vec![source];
+    while !frontier.is_empty() {
+        let mut improved = Vec::new();
+        for &v in &frontier {
+            let dv = dist[v as usize];
+            for &u in g.neighbors(v) {
+                let w = g.edge_weight(v, u, max_weight) as u64;
+                if dv + w < dist[u as usize] {
+                    dist[u as usize] = dv + w;
+                    improved.push(u);
+                }
+            }
+        }
+        improved.sort_unstable();
+        improved.dedup();
+        frontier = improved;
+    }
+    dist.iter().filter(|&&d| d != u64::MAX).count() as u64
+}
+
+/// PageRank access trace: every iteration reads every (non-isolated)
+/// vertex's sublist in ID order — the sequential pattern the Discussion
+/// section contrasts with BFS.
+pub fn pagerank_trace(g: &Csr, iterations: u32) -> Vec<Vec<VertexId>> {
+    let all: Vec<VertexId> = (0..g.num_vertices() as VertexId)
+        .filter(|&v| g.degree(v) > 0)
+        .collect();
+    (0..iterations).map(|_| all.clone()).collect()
+}
+
+/// Compute PageRank values (damping 0.85) for result validation; the
+/// access trace is produced by [`pagerank_trace`].
+pub fn pagerank_values(g: &Csr, iterations: u32) -> Vec<f64> {
+    let n = g.num_vertices();
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    let d = 0.85;
+    for _ in 0..iterations {
+        next.iter_mut().for_each(|x| *x = (1.0 - d) / n as f64);
+        let mut dangling = 0.0;
+        for v in 0..n as VertexId {
+            let deg = g.degree(v);
+            if deg == 0 {
+                dangling += rank[v as usize];
+                continue;
+            }
+            let share = d * rank[v as usize] / deg as f64;
+            for &u in g.neighbors(v) {
+                next[u as usize] += share;
+            }
+        }
+        let spread = d * dangling / n as f64;
+        next.iter_mut().for_each(|x| *x += spread);
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// Label-propagation connected components: returns the per-round frontier
+/// trace and the number of components found.
+pub fn cc_trace(g: &Csr) -> (Vec<Vec<VertexId>>, u64) {
+    let n = g.num_vertices();
+    let mut label: Vec<VertexId> = (0..n as VertexId).collect();
+    let mut frontier: Vec<VertexId> = (0..n as VertexId).filter(|&v| g.degree(v) > 0).collect();
+    let mut rounds = Vec::new();
+    while !frontier.is_empty() {
+        rounds.push(frontier.clone());
+        let mut changed = Vec::new();
+        for &v in &frontier {
+            let lv = label[v as usize];
+            for &u in g.neighbors(v) {
+                if lv < label[u as usize] {
+                    label[u as usize] = lv;
+                    changed.push(u);
+                }
+            }
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        frontier = changed;
+    }
+    let mut roots: Vec<VertexId> = (0..n as VertexId)
+        .filter(|&v| g.degree(v) > 0)
+        .map(|v| label[v as usize])
+        .collect();
+    roots.sort_unstable();
+    roots.dedup();
+    // Isolated vertices each count as their own component.
+    let components = roots.len() as u64 + g.num_isolated() as u64;
+    (rounds, components)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxlg_graph::spec::GraphSpec;
+    use cxlg_link::pcie::PcieGen;
+
+    fn path_graph(n: usize) -> Csr {
+        // 0 - 1 - 2 - ... - (n-1), undirected.
+        let edges: Vec<(VertexId, VertexId)> =
+            (0..n - 1).map(|i| (i as VertexId, i as VertexId + 1)).collect();
+        cxlg_graph::builder::csr_from_edges(n, &edges, true, false)
+    }
+
+    #[test]
+    fn bfs_trace_on_path_has_one_vertex_per_level() {
+        let g = path_graph(5);
+        let t = bfs_trace(&g, 0);
+        assert_eq!(t.len(), 5);
+        for (d, level) in t.iter().enumerate() {
+            assert_eq!(level, &vec![d as VertexId]);
+        }
+    }
+
+    #[test]
+    fn bfs_trace_counts_match_reachability() {
+        let g = GraphSpec::urand(10).seed(3).build();
+        let t = bfs_trace(&g, 0);
+        let total: usize = t.iter().map(|l| l.len()).sum();
+        // urand at degree 32 is connected with overwhelming probability.
+        assert_eq!(total, g.num_vertices());
+        // Frontiers are sorted and disjoint.
+        let mut seen = std::collections::HashSet::new();
+        for level in &t {
+            assert!(level.windows(2).all(|w| w[0] < w[1]));
+            for &v in level {
+                assert!(seen.insert(v), "vertex {v} in two levels");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_frontier_profile_is_hump_shaped() {
+        // Table 2's pattern: tiny, growing, huge, then collapsing.
+        let g = GraphSpec::urand(12).seed(1).build();
+        let t = bfs_trace(&g, 0);
+        let sizes: Vec<usize> = t.iter().map(|l| l.len()).collect();
+        let peak = *sizes.iter().max().unwrap();
+        let peak_idx = sizes.iter().position(|&s| s == peak).unwrap();
+        assert!(peak > g.num_vertices() / 4, "peak {peak}");
+        assert!(peak_idx > 0 && peak_idx < sizes.len() - 1);
+        assert!(sizes[0] == 1);
+    }
+
+    #[test]
+    fn sssp_visits_at_least_bfs_vertices_and_more_reads() {
+        let g = GraphSpec::urand(9).seed(2).build();
+        let bfs: usize = bfs_trace(&g, 0).iter().map(|l| l.len()).sum();
+        let sssp: usize = sssp_trace(&g, 0, 64).iter().map(|l| l.len()).sum();
+        assert!(
+            sssp >= bfs,
+            "SSSP re-reads should exceed BFS: {sssp} vs {bfs}"
+        );
+    }
+
+    #[test]
+    fn sssp_distances_are_shortest() {
+        // On the path graph, distance to vertex k is the sum of the k
+        // edge weights along the only path.
+        let g = path_graph(6);
+        let reached = sssp_reached(&g, 0, 64);
+        assert_eq!(reached, 6);
+    }
+
+    #[test]
+    fn pagerank_values_sum_to_one() {
+        let g = GraphSpec::kron(8).seed(5).build();
+        let pr = pagerank_values(&g, 10);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        assert!(pr.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn cc_finds_components() {
+        // Two disjoint paths => 2 components (plus no isolated vertices).
+        let edges = vec![(0, 1), (1, 2), (3, 4)];
+        let g = cxlg_graph::builder::csr_from_edges(5, &edges, true, false);
+        let (_, components) = cc_trace(&g);
+        assert_eq!(components, 2);
+    }
+
+    #[test]
+    fn cc_counts_isolated_vertices() {
+        let edges = vec![(0, 1)];
+        let g = cxlg_graph::builder::csr_from_edges(4, &edges, true, false);
+        let (_, components) = cc_trace(&g);
+        assert_eq!(components, 3); // {0,1}, {2}, {3}
+    }
+
+    #[test]
+    fn run_produces_consistent_report() {
+        let g = GraphSpec::urand(9).seed(1).build();
+        let sys = SystemConfig::emogi_on_dram(PcieGen::Gen4);
+        let report = Traversal::bfs(0).run(&g, &sys);
+        assert_eq!(report.workload, "bfs");
+        assert_eq!(report.backend, "host-dram:emogi");
+        assert_eq!(report.reached, g.num_vertices() as u64);
+        assert!(report.metrics.runtime.as_us_f64() > 0.0);
+        // Zero-copy reads cover every useful byte at least once.
+        assert!(report.metrics.fetched_bytes >= report.metrics.useful_bytes);
+        // E equals the whole edge list for a full BFS.
+        assert_eq!(
+            report.metrics.useful_bytes,
+            g.num_edges() * 8
+        );
+        // RAF for 32 B alignment on 8 B entries is modest (§3.1).
+        let raf = report.metrics.raf();
+        assert!((1.0..2.0).contains(&raf), "RAF {raf}");
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let g = GraphSpec::kron(8).seed(4).build();
+        let sys = SystemConfig::emogi_on_cxl(PcieGen::Gen3, 5).with_added_latency_us(1.0);
+        let a = Traversal::bfs(g.max_degree_vertex().unwrap()).run(&g, &sys);
+        let b = Traversal::bfs(g.max_degree_vertex().unwrap()).run(&g, &sys);
+        assert_eq!(a.metrics.runtime, b.metrics.runtime);
+        assert_eq!(a.metrics.fetched_bytes, b.metrics.fetched_bytes);
+    }
+
+    #[test]
+    fn trace_and_run_agree_on_levels() {
+        let g = GraphSpec::urand(8).seed(9).build();
+        let trav = Traversal::bfs(0);
+        let trace = trav.trace(&g);
+        let sys = SystemConfig::emogi_on_dram(PcieGen::Gen4);
+        let report = trav.run(&g, &sys);
+        assert_eq!(report.levels.len(), trace.len());
+        for (ls, tr) in report.levels.iter().zip(&trace) {
+            assert_eq!(ls.frontier, tr.len() as u64);
+        }
+    }
+}

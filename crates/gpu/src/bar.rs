@@ -1,0 +1,102 @@
+//! Submission-queue cost model for GPU-initiated storage access.
+//!
+//! §4.1.1: "As with BaM, we place submission queues (SQs) and data buffers
+//! in the base address register (BAR) section of the GPU memory in order
+//! to control storage devices directly from the GPU. Note that we do not
+//! have completion queues [42]." The GPU writes an SQ entry; the drive
+//! fetches it from BAR memory and later DMAs the payload back into the
+//! BAR data buffer. The costs that matter to the simulation are the SQ
+//! entry's traversal of the PCIe request path and the per-drive queue
+//! depth that bounds storage concurrency (§3.2: for storage "the limit
+//! comes from the queue depth of the storage interface, which is
+//! typically much larger than Nmax when multiple drives are used").
+
+use serde::{Deserialize, Serialize};
+
+/// Submission queue parameters for one storage interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubmissionQueueModel {
+    /// Bytes per SQ entry crossing the link when the drive fetches it
+    /// (NVMe: 64 B commands; XLFDD's lightweight interface: 16 B).
+    pub entry_bytes: u64,
+    /// Completion notification bytes crossing the link. XLFDD has **no
+    /// completion queues** — the payload DMA itself signals completion —
+    /// so this is 0; NVMe posts a 16 B CQ entry.
+    pub completion_bytes: u64,
+    /// Queue depth per drive (outstanding commands the drive accepts).
+    pub queue_depth_per_drive: u32,
+}
+
+impl SubmissionQueueModel {
+    /// BaM's NVMe queues: 64 B SQ entries, 16 B CQ entries, deep queues.
+    pub fn nvme() -> Self {
+        SubmissionQueueModel {
+            entry_bytes: 64,
+            completion_bytes: 16,
+            queue_depth_per_drive: 1024,
+        }
+    }
+
+    /// XLFDD's lightweight interface: small SQ entries, no CQ (§4.1.1).
+    pub fn xlfdd() -> Self {
+        SubmissionQueueModel {
+            entry_bytes: 16,
+            completion_bytes: 0,
+            queue_depth_per_drive: 1024,
+        }
+    }
+
+    /// Total storage concurrency with `drives` drives.
+    pub fn total_depth(&self, drives: u32) -> u64 {
+        self.queue_depth_per_drive as u64 * drives as u64
+    }
+
+    /// Request-path overhead bytes per command (SQ fetch).
+    pub fn request_overhead_bytes(&self) -> u64 {
+        self.entry_bytes
+    }
+
+    /// Response-path overhead bytes per command (CQ post, if any).
+    pub fn response_overhead_bytes(&self) -> u64 {
+        self.completion_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxlg_link::pcie::PcieGen;
+
+    #[test]
+    fn xlfdd_has_no_completion_queue() {
+        let sq = SubmissionQueueModel::xlfdd();
+        assert_eq!(sq.response_overhead_bytes(), 0);
+        assert_eq!(sq.entry_bytes, 16);
+    }
+
+    #[test]
+    fn nvme_entries_are_64_bytes() {
+        let sq = SubmissionQueueModel::nvme();
+        assert_eq!(sq.request_overhead_bytes(), 64);
+        assert_eq!(sq.response_overhead_bytes(), 16);
+    }
+
+    #[test]
+    fn storage_concurrency_exceeds_pcie_nmax() {
+        // §3.2: storage queue depth >> Nmax with multiple drives.
+        let sq = SubmissionQueueModel::xlfdd();
+        assert!(sq.total_depth(16) > PcieGen::Gen4.nmax_outstanding());
+        let nvme = SubmissionQueueModel::nvme();
+        assert!(nvme.total_depth(4) > PcieGen::Gen4.nmax_outstanding());
+    }
+
+    #[test]
+    fn xlfdd_overheads_are_lighter_than_nvme() {
+        let x = SubmissionQueueModel::xlfdd();
+        let n = SubmissionQueueModel::nvme();
+        assert!(
+            x.request_overhead_bytes() + x.response_overhead_bytes()
+                < n.request_overhead_bytes() + n.response_overhead_bytes()
+        );
+    }
+}

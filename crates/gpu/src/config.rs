@@ -1,0 +1,73 @@
+//! GPU execution parameters.
+
+use cxlg_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// GPU model configuration (defaults describe the paper's RTX A5000).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Hardware warp capacity (§3.5.2: "The GPU we use has 3,072 warps").
+    pub total_warps: u32,
+    /// Warps actually resident during traversal kernels (§3.5.2: "in our
+    /// BFS execution, we find that 2,048 warps are running").
+    pub active_warps: u32,
+    /// GPU cache-line size in bytes — the maximum zero-copy transaction
+    /// (§3.3.1: "up to the GPU's hardware cache line size of 128 B").
+    pub line_bytes: u64,
+    /// Memory sector size in bytes — the zero-copy request granularity
+    /// (§3.3.1: "requests are issued at a multiple of 32 B").
+    pub sector_bytes: u64,
+    /// Per-work-item compute cost (edge examination, frontier update).
+    /// The paper's workloads are transfer-bound, so this is small; a
+    /// non-zero value avoids zero-time scheduling artifacts.
+    pub item_compute_ps: u64,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig {
+            total_warps: 3072,
+            active_warps: 2048,
+            line_bytes: 128,
+            sector_bytes: 32,
+            item_compute_ps: 20_000, // 20 ns
+        }
+    }
+}
+
+impl GpuConfig {
+    /// Per-item compute as a duration.
+    pub fn item_compute(&self) -> SimDuration {
+        SimDuration::from_ps(self.item_compute_ps)
+    }
+
+    /// Restrict the number of active warps (the warp-count ablation).
+    pub fn with_active_warps(mut self, warps: u32) -> Self {
+        assert!(warps >= 1);
+        self.active_warps = warps.min(self.total_warps);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let g = GpuConfig::default();
+        assert_eq!(g.total_warps, 3072);
+        assert_eq!(g.active_warps, 2048);
+        assert_eq!(g.line_bytes, 128);
+        assert_eq!(g.sector_bytes, 32);
+        assert!(g.active_warps as u64 > 768, "§3.5.2: warps > Nmax");
+    }
+
+    #[test]
+    fn active_warps_clamped_to_total() {
+        let g = GpuConfig::default().with_active_warps(100_000);
+        assert_eq!(g.active_warps, 3072);
+        let g = GpuConfig::default().with_active_warps(64);
+        assert_eq!(g.active_warps, 64);
+    }
+}

@@ -1,0 +1,131 @@
+//! Warp pool bookkeeping for the discrete-event driver.
+//!
+//! The traversal engines model the GPU as `active_warps` independent
+//! workers, each either processing a work item, waiting on a memory
+//! request, or idle. The pool hands out warp slots and tracks how many
+//! were ever concurrently busy — §3.5.2's argument is that this
+//! concurrency (2,048) comfortably exceeds the PCIe limit (`Nmax = 768`),
+//! so the GPU is never the bottleneck; the ablation benches revisit that
+//! claim with smaller pools.
+
+/// Identifier of a warp slot.
+pub type WarpId = u32;
+
+/// A fixed pool of warp slots with an idle free-list.
+#[derive(Debug, Clone)]
+pub struct WarpPool {
+    free: Vec<WarpId>,
+    capacity: u32,
+    busy_high_water: u32,
+}
+
+impl WarpPool {
+    /// Pool of `capacity` warps, all idle.
+    pub fn new(capacity: u32) -> Self {
+        assert!(capacity >= 1, "need at least one warp");
+        WarpPool {
+            free: (0..capacity).rev().collect(),
+            capacity,
+            busy_high_water: 0,
+        }
+    }
+
+    /// Take an idle warp, if any.
+    pub fn acquire(&mut self) -> Option<WarpId> {
+        let id = self.free.pop()?;
+        self.busy_high_water = self.busy_high_water.max(self.busy());
+        Some(id)
+    }
+
+    /// Return a warp to the idle pool.
+    pub fn release(&mut self, id: WarpId) {
+        debug_assert!(id < self.capacity, "foreign warp id");
+        debug_assert!(!self.free.contains(&id), "double release of warp {id}");
+        self.free.push(id);
+    }
+
+    /// Total warp slots.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Currently busy warps.
+    pub fn busy(&self) -> u32 {
+        self.capacity - self.free.len() as u32
+    }
+
+    /// Currently idle warps.
+    pub fn idle(&self) -> u32 {
+        self.free.len() as u32
+    }
+
+    /// Maximum concurrently busy warps observed.
+    pub fn busy_high_water(&self) -> u32 {
+        self.busy_high_water
+    }
+
+    /// Are all warps idle?
+    pub fn all_idle(&self) -> bool {
+        self.free.len() as u32 == self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut p = WarpPool::new(4);
+        assert!(p.all_idle());
+        let a = p.acquire().unwrap();
+        let b = p.acquire().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(p.busy(), 2);
+        assert_eq!(p.idle(), 2);
+        p.release(a);
+        assert_eq!(p.busy(), 1);
+        p.release(b);
+        assert!(p.all_idle());
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut p = WarpPool::new(2);
+        assert!(p.acquire().is_some());
+        assert!(p.acquire().is_some());
+        assert!(p.acquire().is_none());
+        assert_eq!(p.busy(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut p = WarpPool::new(8);
+        let ids: Vec<_> = (0..5).map(|_| p.acquire().unwrap()).collect();
+        for id in ids {
+            p.release(id);
+        }
+        assert_eq!(p.busy_high_water(), 5);
+        assert!(p.all_idle());
+    }
+
+    #[test]
+    fn ids_are_unique_while_held() {
+        let mut p = WarpPool::new(100);
+        let mut held = std::collections::HashSet::new();
+        while let Some(id) = p.acquire() {
+            assert!(held.insert(id), "duplicate id {id}");
+        }
+        assert_eq!(held.len(), 100);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "double release")]
+    fn double_release_is_caught_in_debug() {
+        let mut p = WarpPool::new(2);
+        let a = p.acquire().unwrap();
+        p.release(a);
+        p.release(a);
+    }
+}

@@ -1,0 +1,140 @@
+//! Parallel CSR construction from edge lists.
+//!
+//! The generators produce flat `(src, dst)` arc lists; this module turns
+//! them into [`Csr`] by a rayon parallel sort on a packed `src << 32 | dst`
+//! key followed by an offsets scan. Sorting also groups each vertex's
+//! sublist contiguously, which is what gives real CSR edge lists their
+//! spatial locality — a property the read-amplification results (Fig. 3)
+//! depend on.
+
+use crate::csr::Csr;
+use crate::VertexId;
+use rayon::prelude::*;
+
+/// Pack an arc into a sortable 64-bit key.
+#[inline]
+pub fn pack_arc(src: VertexId, dst: VertexId) -> u64 {
+    (src as u64) << 32 | dst as u64
+}
+
+/// Unpack a 64-bit key back into an arc.
+#[inline]
+pub fn unpack_arc(key: u64) -> (VertexId, VertexId) {
+    ((key >> 32) as VertexId, key as VertexId)
+}
+
+/// Build a CSR with `n` vertices from packed arcs (see [`pack_arc`]).
+///
+/// * `dedup` — remove duplicate arcs (the paper's kron dataset keeps
+///   multiplicities out; uniform random keeps whatever the generator drew).
+/// * Self-loops are preserved; generators that exclude them do so at
+///   drawing time.
+pub fn csr_from_packed_arcs(n: usize, mut arcs: Vec<u64>, dedup: bool) -> Csr {
+    arcs.par_sort_unstable();
+    if dedup {
+        arcs.dedup();
+    }
+    let mut offsets = vec![0u64; n + 1];
+    // Count per-source degrees, then exclusive prefix sum.
+    for &a in &arcs {
+        let (src, _) = unpack_arc(a);
+        debug_assert!((src as usize) < n, "src {src} out of range");
+        offsets[src as usize + 1] += 1;
+    }
+    for i in 0..n {
+        offsets[i + 1] += offsets[i];
+    }
+    let targets: Vec<VertexId> = arcs.par_iter().map(|&a| unpack_arc(a).1).collect();
+    Csr::from_parts(offsets, targets)
+}
+
+/// Build a CSR from `(src, dst)` pairs, optionally symmetrizing (adding the
+/// reverse arc for every input arc) as the paper's datasets do for
+/// undirected graphs.
+pub fn csr_from_edges(
+    n: usize,
+    edges: &[(VertexId, VertexId)],
+    symmetrize: bool,
+    dedup: bool,
+) -> Csr {
+    let mut arcs: Vec<u64> = Vec::with_capacity(edges.len() * if symmetrize { 2 } else { 1 });
+    arcs.par_extend(edges.par_iter().map(|&(s, d)| pack_arc(s, d)));
+    if symmetrize {
+        arcs.par_extend(edges.par_iter().map(|&(s, d)| pack_arc(d, s)));
+    }
+    csr_from_packed_arcs(n, arcs, dedup)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for &(s, d) in &[(0, 0), (1, 2), (u32::MAX, 7), (123_456, u32::MAX)] {
+            assert_eq!(unpack_arc(pack_arc(s, d)), (s, d));
+        }
+    }
+
+    #[test]
+    fn builds_sorted_sublists() {
+        let edges = vec![(2, 1), (0, 3), (2, 0), (0, 1)];
+        let g = csr_from_edges(4, &edges, false, false);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 3]);
+        assert_eq!(g.neighbors(1), &[] as &[VertexId]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn symmetrize_adds_reverse_arcs() {
+        let edges = vec![(0, 1), (1, 2)];
+        let g = csr_from_edges(3, &edges, true, false);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[1]);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates() {
+        let edges = vec![(0, 1), (0, 1), (0, 1), (1, 0)];
+        let g = csr_from_edges(2, &edges, false, true);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn without_dedup_keeps_multiplicity() {
+        let edges = vec![(0, 1), (0, 1)];
+        let g = csr_from_edges(2, &edges, false, false);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1, 1]);
+    }
+
+    #[test]
+    fn symmetrized_self_loop_dedups_to_one() {
+        let edges = vec![(1, 1)];
+        let g = csr_from_edges(2, &edges, true, true);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.neighbors(1), &[1]);
+    }
+
+    #[test]
+    fn large_random_build_is_consistent() {
+        // 100k arcs over 1k vertices; degree sum must equal arc count.
+        let mut arcs = Vec::new();
+        let mut state = 12345u64;
+        for _ in 0..100_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let s = ((state >> 33) % 1000) as VertexId;
+            let d = ((state >> 13) % 1000) as VertexId;
+            arcs.push(pack_arc(s, d));
+        }
+        let g = csr_from_packed_arcs(1000, arcs, false);
+        assert_eq!(g.num_edges(), 100_000);
+        let degree_sum: u64 = (0..1000u32).map(|v| g.degree(v)).sum();
+        assert_eq!(degree_sum, 100_000);
+        assert!(g.validate().is_ok());
+    }
+}

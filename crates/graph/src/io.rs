@@ -1,0 +1,147 @@
+//! Binary serialization of CSR graphs.
+//!
+//! Generating the larger benchmark graphs takes seconds; persisting them
+//! lets harnesses and downstream users reload in milliseconds. The format
+//! is a fixed little-endian header (magic, version, counts) followed by
+//! the raw offsets and targets arrays — deliberately trivial, so other
+//! tools can parse it.
+
+use crate::csr::Csr;
+use crate::VertexId;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// File magic: "CXLG" + format version 1.
+const MAGIC: [u8; 8] = *b"CXLGv001";
+
+/// Serialize a CSR to a writer.
+pub fn write_csr<W: Write>(g: &Csr, mut w: W) -> io::Result<()> {
+    w.write_all(&MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&g.num_edges().to_le_bytes())?;
+    for &o in g.offsets() {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for &t in g.targets() {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Deserialize a CSR from a reader. Validates structure on load.
+pub fn read_csr<R: Read>(mut r: R) -> io::Result<Csr> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad magic {magic:?}"),
+        ));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    r.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8) as usize;
+    if n > (1 << 34) || m > (1 << 40) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "implausible graph dimensions",
+        ));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        r.read_exact(&mut buf8)?;
+        offsets.push(u64::from_le_bytes(buf8));
+    }
+    let mut buf4 = [0u8; 4];
+    let mut targets: Vec<VertexId> = Vec::with_capacity(m);
+    for _ in 0..m {
+        r.read_exact(&mut buf4)?;
+        targets.push(VertexId::from_le_bytes(buf4));
+    }
+    // from_parts validates monotonicity and ranges but panics; convert to
+    // an IO error for corrupt files.
+    if offsets.last().copied() != Some(m as u64)
+        || offsets.windows(2).any(|w| w[0] > w[1])
+        || targets.iter().any(|&t| (t as usize) >= n)
+    {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "structurally invalid CSR",
+        ));
+    }
+    Ok(Csr::from_parts(offsets, targets))
+}
+
+/// Save to a file path.
+pub fn save(g: &Csr, path: impl AsRef<Path>) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_csr(g, io::BufWriter::new(f))
+}
+
+/// Load from a file path.
+pub fn load(path: impl AsRef<Path>) -> io::Result<Csr> {
+    let f = std::fs::File::open(path)?;
+    read_csr(io::BufReader::new(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::GraphSpec;
+
+    #[test]
+    fn round_trip_in_memory() {
+        let g = GraphSpec::kron(9).seed(7).build();
+        let mut buf = Vec::new();
+        write_csr(&g, &mut buf).unwrap();
+        let back = read_csr(buf.as_slice()).unwrap();
+        assert_eq!(g, back);
+    }
+
+    #[test]
+    fn round_trip_via_file() {
+        let g = GraphSpec::urand(8).seed(3).build();
+        let dir = std::env::temp_dir().join("cxlg-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.csr");
+        save(&g, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(g, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = read_csr(&b"NOTAGRAPH graph"[..]).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let g = GraphSpec::urand(6).seed(1).build();
+        let mut buf = Vec::new();
+        write_csr(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 7);
+        assert!(read_csr(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn rejects_corrupted_offsets() {
+        let g = GraphSpec::urand(6).seed(1).build();
+        let mut buf = Vec::new();
+        write_csr(&g, &mut buf).unwrap();
+        // Corrupt an offset in the middle (bytes 24..32 = offsets[1]).
+        buf[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(read_csr(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Csr::empty(5);
+        let mut buf = Vec::new();
+        write_csr(&g, &mut buf).unwrap();
+        assert_eq!(read_csr(buf.as_slice()).unwrap(), g);
+    }
+}

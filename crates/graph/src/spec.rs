@@ -1,0 +1,170 @@
+//! Declarative graph specification: which dataset, at what scale, with
+//! what seed. The figure harnesses describe their workloads as
+//! [`GraphSpec`] values so every run is reproducible from its printed
+//! configuration.
+
+use crate::csr::Csr;
+use crate::gen;
+use serde::{Deserialize, Serialize};
+
+/// Which synthetic dataset family to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GraphKind {
+    /// Uniform random graph (paper: `urand27`, avg degree 32).
+    Uniform {
+        /// Average directed degree.
+        avg_degree: u32,
+    },
+    /// Kronecker / RMAT graph (paper: `kron27`, Graph500 parameters).
+    Kronecker {
+        /// Undirected edges per vertex before symmetrization (Graph500
+        /// default 16).
+        edge_factor: u32,
+    },
+    /// Chung–Lu power-law graph (paper: Friendster, avg degree 55).
+    Social {
+        /// Average directed degree target.
+        avg_degree: u32,
+    },
+}
+
+/// A reproducible graph description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GraphSpec {
+    /// Dataset family and its degree parameter.
+    pub kind: GraphKind,
+    /// log2 of the vertex count.
+    pub scale: u32,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl GraphSpec {
+    /// Uniform random graph with `2^scale` vertices.
+    pub fn uniform(scale: u32, avg_degree: u32) -> Self {
+        GraphSpec {
+            kind: GraphKind::Uniform { avg_degree },
+            scale,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Kronecker graph with `2^scale` vertices.
+    pub fn kronecker(scale: u32, edge_factor: u32) -> Self {
+        GraphSpec {
+            kind: GraphKind::Kronecker { edge_factor },
+            scale,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Power-law social graph with `2^scale` vertices.
+    pub fn social(scale: u32, avg_degree: u32) -> Self {
+        GraphSpec {
+            kind: GraphKind::Social { avg_degree },
+            scale,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The paper's `urand` dataset shape (avg degree 32) at a given scale.
+    pub fn urand(scale: u32) -> Self {
+        Self::uniform(scale, 32)
+    }
+
+    /// The paper's `kron` dataset shape (edge factor 16) at a given scale.
+    pub fn kron(scale: u32) -> Self {
+        Self::kronecker(scale, 16)
+    }
+
+    /// A Friendster-like dataset shape (avg degree 55) at a given scale.
+    pub fn friendster_like(scale: u32) -> Self {
+        Self::social(scale, 55)
+    }
+
+    /// Override the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Human-readable dataset name, mirroring the paper's convention
+    /// (`urand20`, `kron20`, `friendster20`).
+    pub fn name(&self) -> String {
+        match self.kind {
+            GraphKind::Uniform { .. } => format!("urand{}", self.scale),
+            GraphKind::Kronecker { .. } => format!("kron{}", self.scale),
+            GraphKind::Social { .. } => format!("friendster{}", self.scale),
+        }
+    }
+
+    /// Generate the graph.
+    pub fn build(&self) -> Csr {
+        match self.kind {
+            GraphKind::Uniform { avg_degree } => {
+                gen::uniform::generate(self.scale, avg_degree, self.seed)
+            }
+            GraphKind::Kronecker { edge_factor } => {
+                gen::kronecker::generate(self.scale, edge_factor, self.seed)
+            }
+            GraphKind::Social { avg_degree } => {
+                gen::social::generate(self.scale, avg_degree, self.seed)
+            }
+        }
+    }
+
+    /// The three paper datasets at one scale, in Table 1 order.
+    pub fn paper_trio(scale: u32) -> [GraphSpec; 3] {
+        [
+            Self::urand(scale),
+            Self::kron(scale),
+            Self::friendster_like(scale),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_follow_paper_convention() {
+        assert_eq!(GraphSpec::urand(27).name(), "urand27");
+        assert_eq!(GraphSpec::kron(27).name(), "kron27");
+        assert_eq!(GraphSpec::friendster_like(20).name(), "friendster20");
+    }
+
+    #[test]
+    fn build_dispatches_to_generators() {
+        let u = GraphSpec::uniform(8, 8).seed(1).build();
+        assert_eq!(u.num_vertices(), 256);
+        assert_eq!(u.num_edges(), 256 * 8);
+        let k = GraphSpec::kronecker(8, 8).seed(1).build();
+        assert_eq!(k.num_vertices(), 256);
+        let s = GraphSpec::social(8, 16).seed(1).build();
+        assert_eq!(s.num_vertices(), 256);
+    }
+
+    #[test]
+    fn seed_round_trips() {
+        let spec = GraphSpec::urand(10).seed(777);
+        assert_eq!(spec.seed, 777);
+        assert_eq!(spec.build(), spec.build());
+    }
+
+    #[test]
+    fn paper_trio_order() {
+        let trio = GraphSpec::paper_trio(12);
+        assert_eq!(trio[0].name(), "urand12");
+        assert_eq!(trio[1].name(), "kron12");
+        assert_eq!(trio[2].name(), "friendster12");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let spec = GraphSpec::kron(14).seed(9);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: GraphSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+}

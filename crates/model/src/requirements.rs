@@ -1,0 +1,99 @@
+//! Equation 6: what an external memory must provide to match host-DRAM
+//! EMOGI performance.
+//!
+//! §3.4: saturating the link requires `min(S, Nmax/L) · d ≥ W`, i.e.
+//! `S ≥ W / d` **and** `L ≤ Nmax · d / W`. With Gen4 x16 and EMOGI's
+//! `d = 89.6 B` this gives `S ≥ 268 MIOPS` and `L ≤ 2.87 µs` — the
+//! paper's "a few microseconds may be tolerated" headline. §4.2.2 redoes
+//! the numbers for Gen3 (`S ≥ 134 MIOPS`, `L ≤ 1.91 µs`), and §4.1.1 for
+//! XLFDD's sublist-sized transfers (`d = 256 B ⇒ S ≥ 93.75 MIOPS`).
+
+use cxlg_link::pcie::{PcieGen, PcieLinkConfig};
+use serde::{Deserialize, Serialize};
+
+/// External-memory requirements for link saturation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Requirements {
+    /// Minimum random-read rate `S` in MIOPS.
+    pub min_miops: f64,
+    /// Maximum tolerable latency `L` in microseconds.
+    pub max_latency_us: f64,
+    /// The transfer size `d` assumed, bytes.
+    pub d_bytes: f64,
+    /// The link bandwidth `W` assumed, MB/s.
+    pub bandwidth_mb_per_sec: f64,
+    /// The outstanding-request limit `Nmax` assumed.
+    pub nmax: u64,
+}
+
+/// Solve Equation 6 for a link and transfer size.
+pub fn requirements(link: &PcieLinkConfig, d_bytes: f64) -> Requirements {
+    let w = link.bandwidth().mb_per_sec();
+    let nmax = link.nmax();
+    Requirements {
+        min_miops: w / d_bytes, // (MB/s) / B = M ops/s
+        max_latency_us: nmax as f64 * d_bytes / (w),
+        d_bytes,
+        bandwidth_mb_per_sec: w,
+        nmax,
+    }
+}
+
+/// The EMOGI average transfer size assumed throughout §3 (89.6 B).
+pub const D_EMOGI_BYTES: f64 = 89.6;
+
+/// Requirements for EMOGI on a given PCIe generation (x16).
+pub fn emogi_requirements(gen: PcieGen) -> Requirements {
+    requirements(&PcieLinkConfig::x16(gen), D_EMOGI_BYTES)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_gen4_numbers() {
+        // §3.4: "This becomes S ≥ 268 MIOPS and L ≤ 2.87 usec."
+        let r = emogi_requirements(PcieGen::Gen4);
+        assert!((r.min_miops - 267.86).abs() < 0.5, "{}", r.min_miops);
+        assert!((r.max_latency_us - 2.867).abs() < 0.01, "{}", r.max_latency_us);
+        assert_eq!(r.nmax, 768);
+    }
+
+    #[test]
+    fn paper_gen3_numbers() {
+        // §4.2.2: "S = 12,000/89.6 = 134 MIOPS and
+        // L = 256 × 89.6 / 12,000 = 1.91 usec".
+        let r = emogi_requirements(PcieGen::Gen3);
+        assert!((r.min_miops - 133.93).abs() < 0.5, "{}", r.min_miops);
+        assert!((r.max_latency_us - 1.911).abs() < 0.01, "{}", r.max_latency_us);
+    }
+
+    #[test]
+    fn xlfdd_sublist_transfers_relax_the_iops_requirement() {
+        // §4.1.1: with d = 256 B (urand sublists), S ≥ 93.75 MIOPS.
+        let r = requirements(&PcieLinkConfig::x16(PcieGen::Gen4), 256.0);
+        assert!((r.min_miops - 93.75).abs() < 0.01, "{}", r.min_miops);
+        // And 16 XLFDD drives provide 16 × 11 = 176 MIOPS > 93.75.
+        assert!(16.0 * 11.0 > r.min_miops);
+    }
+
+    #[test]
+    fn larger_transfers_relax_both_requirements() {
+        let small = requirements(&PcieLinkConfig::x16(PcieGen::Gen4), 64.0);
+        let large = requirements(&PcieLinkConfig::x16(PcieGen::Gen4), 512.0);
+        assert!(large.min_miops < small.min_miops);
+        assert!(large.max_latency_us > small.max_latency_us);
+    }
+
+    #[test]
+    fn gen5_doubles_gen4_demands() {
+        // The Discussion: PCIe generations double bandwidth, so the IOPS
+        // requirement doubles and the latency allowance halves (same
+        // Nmax).
+        let g4 = emogi_requirements(PcieGen::Gen4);
+        let g5 = emogi_requirements(PcieGen::Gen5);
+        assert!((g5.min_miops / g4.min_miops - 2.0).abs() < 1e-9);
+        assert!((g4.max_latency_us / g5.max_latency_us - 2.0).abs() < 1e-9);
+    }
+}

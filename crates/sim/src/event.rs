@@ -1,0 +1,225 @@
+//! The event queue: a monotonic priority queue of `(SimTime, E)` pairs.
+//!
+//! Ties at the same instant are broken by insertion order (a strictly
+//! increasing sequence number), which makes simulations deterministic
+//! regardless of `BinaryHeap` internals.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq, Eq)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E: Eq> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E: Eq> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A future-event list with a monotonically advancing clock.
+///
+/// `pop` advances the clock to the time of the event it returns; scheduling
+/// into the past is a logic error and panics in debug builds (clamped to
+/// `now` in release builds so long simulations degrade gracefully rather
+/// than corrupting causality).
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: SimTime,
+    scheduled_total: u64,
+}
+
+impl<E: Eq> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E: Eq> EventQueue<E> {
+    /// Empty queue with the clock at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Empty queue with pre-reserved capacity for `cap` pending events.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            seq: 0,
+            now: SimTime::ZERO,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `t` (clamped to `now` if in the
+    /// past; debug-asserts against that).
+    #[inline]
+    pub fn schedule_at(&mut self, t: SimTime, event: E) {
+        debug_assert!(t >= self.now, "scheduling into the past: {t:?} < {:?}", self.now);
+        let t = t.max(self.now);
+        self.heap.push(Reverse(Entry {
+            time: t,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+        self.scheduled_total += 1;
+    }
+
+    /// Schedule `event` after a relative delay.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Schedule `event` at the current instant (runs after all events
+    /// already scheduled for `now`).
+    #[inline]
+    pub fn schedule_now(&mut self, event: E) {
+        self.schedule_at(self.now, event);
+    }
+
+    /// Remove and return the next event, advancing the clock to its time.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        debug_assert!(e.time >= self.now);
+        self.now = e.time;
+        Some((e.time, e.event))
+    }
+
+    /// Time of the next pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total events scheduled over the queue's lifetime (a cheap progress /
+    /// cost metric for simulation benchmarks).
+    #[inline]
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Drain every pending event without running it, leaving the clock
+    /// unchanged. Used to abort a simulation early.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(30), "c");
+        q.schedule_at(SimTime(10), "a");
+        q.schedule_at(SimTime(20), "b");
+        assert_eq!(q.pop(), Some((SimTime(10), "a")));
+        assert_eq!(q.pop(), Some((SimTime(20), "b")));
+        assert_eq!(q.pop(), Some((SimTime(30), "c")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule_at(SimTime(5), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn clock_advances_on_pop() {
+        let mut q = EventQueue::new();
+        q.schedule_in(SimDuration(100), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime(100));
+        // Relative scheduling now uses the new clock.
+        q.schedule_in(SimDuration(50), ());
+        assert_eq!(q.peek_time(), Some(SimTime(150)));
+    }
+
+    #[test]
+    fn schedule_now_runs_after_existing_same_time_events() {
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime::ZERO, 1);
+        q.schedule_now(2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule_at(SimTime(i), i);
+        }
+        assert_eq!(q.len(), 10);
+        assert!(!q.is_empty());
+        assert_eq!(q.scheduled_total(), 10);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 10);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_is_causal() {
+        // A small cascade: each event schedules a successor; times must be
+        // non-decreasing throughout.
+        let mut q = EventQueue::new();
+        q.schedule_at(SimTime(1), 0u32);
+        let mut last = SimTime::ZERO;
+        let mut count = 0;
+        while let Some((t, depth)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            count += 1;
+            if depth < 50 {
+                q.schedule_in(SimDuration(depth as u64 % 7), depth + 1);
+            }
+        }
+        assert_eq!(count, 51);
+    }
+}

@@ -1,0 +1,190 @@
+//! Property-based tests (proptest) on the core invariants the paper's
+//! analysis rests on: coverage and alignment of access-method requests,
+//! interleave partitioning, coalescer geometry, CSR structure, RAF
+//! bounds, and model monotonicity.
+
+use cxl_gpu_graph::core::access::AccessMethod;
+use cxl_gpu_graph::core::raf::{default_capacity, raf_for_trace};
+use cxl_gpu_graph::core::traversal::bfs_trace;
+use cxl_gpu_graph::device::interleave::Interleave;
+use cxl_gpu_graph::gpu::coalesce::coalesce_span_vec;
+use cxl_gpu_graph::graph::builder::csr_from_edges;
+use cxl_gpu_graph::graph::layout::{span_aligned_bytes, ByteSpan};
+use cxl_gpu_graph::model::eqs::{throughput, ThroughputParams};
+use cxl_gpu_graph::prelude::*;
+use proptest::prelude::*;
+
+fn span_strategy() -> impl Strategy<Value = ByteSpan> {
+    // 8 B-granular spans, as the edge list layout guarantees.
+    (0u64..1_000_000, 1u64..400).prop_map(|(off8, len8)| ByteSpan {
+        offset: off8 * 8,
+        len: len8 * 8,
+    })
+}
+
+proptest! {
+    #[test]
+    fn coalescer_covers_span_exactly_once(span in span_strategy()) {
+        let ts = coalesce_span_vec(span, 128, 32);
+        // Transactions are contiguous, sector-aligned, within lines, and
+        // cover the span.
+        prop_assert!(ts.first().unwrap().addr <= span.offset);
+        let end = ts.last().map(|t| t.addr + t.bytes).unwrap();
+        prop_assert!(end >= span.end());
+        for w in ts.windows(2) {
+            prop_assert_eq!(w[0].addr + w[0].bytes, w[1].addr);
+        }
+        for t in &ts {
+            prop_assert_eq!(t.addr % 32, 0);
+            prop_assert!(t.bytes >= 32 && t.bytes <= 128 && t.bytes % 32 == 0);
+            prop_assert_eq!(t.addr / 128, (t.addr + t.bytes - 1) / 128);
+        }
+        // Total fetched equals the aligned-span cost at 32 B.
+        let total: u64 = ts.iter().map(|t| t.bytes).sum();
+        prop_assert_eq!(total, span_aligned_bytes(span, 32));
+    }
+
+    #[test]
+    fn access_methods_cover_every_requested_byte(
+        span in span_strategy(),
+        method_id in 0usize..3,
+    ) {
+        let mut method = match method_id {
+            0 => AccessMethod::emogi(),
+            1 => AccessMethod::bam(1 << 22, 4096),
+            _ => AccessMethod::xlfdd_direct(16),
+        };
+        let mut reqs = Vec::new();
+        method.requests_for_span(span, &mut reqs);
+        // Every byte of the span is covered by some request (the BaM
+        // cache never hits on a fresh cache).
+        let covered = |b: u64| reqs.iter().any(|r| (r.addr..r.addr + r.bytes).contains(&b));
+        prop_assert!(covered(span.offset), "first byte uncovered");
+        prop_assert!(covered(span.end() - 1), "last byte uncovered");
+        prop_assert!(covered(span.offset + span.len / 2), "middle byte uncovered");
+        // All requests respect the method's alignment.
+        let a = method.alignment();
+        for r in &reqs {
+            prop_assert_eq!(r.addr % a, 0, "misaligned request");
+            prop_assert!(r.bytes > 0);
+        }
+    }
+
+    #[test]
+    fn direct_method_over_fetch_is_bounded_by_alignment(span in span_strategy()) {
+        let mut m = AccessMethod::xlfdd_direct(16);
+        let mut reqs = Vec::new();
+        m.requests_for_span(span, &mut reqs);
+        let total: u64 = reqs.iter().map(|r| r.bytes).sum();
+        prop_assert!(total >= span.len);
+        // At most one alignment unit of slack at each end.
+        prop_assert!(total <= span.len + 2 * 16);
+    }
+
+    #[test]
+    fn interleave_partitions_reads(
+        addr in 0u64..10_000_000,
+        bytes in 1u64..20_000,
+        n in 1u32..16,
+        shift in 7u32..13,
+    ) {
+        let il = Interleave::new(1 << shift, n);
+        let mut total = 0u64;
+        let mut last_end = addr;
+        il.split_read(addr, bytes, |dev, local, len| {
+            assert!(dev < n);
+            assert!(len > 0);
+            // Pieces are contiguous in the flat address space.
+            let (rdev, rlocal) = il.route(last_end);
+            assert_eq!((rdev, rlocal), (dev, local));
+            last_end += len;
+            total += len;
+        });
+        prop_assert_eq!(total, bytes);
+        prop_assert_eq!(last_end, addr + bytes);
+    }
+
+    #[test]
+    fn interleave_route_is_a_bijection_on_blocks(
+        n in 1u32..9,
+        blocks in 1u64..200,
+    ) {
+        let il = Interleave::new(4096, n);
+        let mut seen = std::collections::HashSet::new();
+        for b in 0..blocks {
+            let (dev, local) = il.route(b * 4096);
+            prop_assert!(seen.insert((dev, local)), "collision at block {}", b);
+            prop_assert_eq!(local % 4096, 0);
+        }
+    }
+
+    #[test]
+    fn model_throughput_never_exceeds_any_cap(
+        iops_m in 1.0f64..1000.0,
+        lat_us in 0.1f64..50.0,
+        d in 16.0f64..8192.0,
+    ) {
+        let p = ThroughputParams {
+            iops: iops_m * 1e6,
+            latency_us: lat_us,
+            nmax: 768.0,
+            bandwidth_mb_per_sec: 24_000.0,
+        };
+        let t = throughput(&p, d);
+        prop_assert!(t <= 24_000.0 + 1e-9);
+        prop_assert!(t <= iops_m * d + 1e-9);
+        prop_assert!(t <= 768.0 * d / lat_us + 1e-9);
+        prop_assert!(t > 0.0);
+    }
+
+    #[test]
+    fn csr_from_random_edges_is_structurally_valid(
+        edges in proptest::collection::vec((0u32..200, 0u32..200), 0..500),
+        symmetrize in any::<bool>(),
+        dedup in any::<bool>(),
+    ) {
+        let g = csr_from_edges(200, &edges, symmetrize, dedup);
+        prop_assert!(g.validate().is_ok());
+        let expected_max = edges.len() as u64 * if symmetrize { 2 } else { 1 };
+        prop_assert!(g.num_edges() <= expected_max);
+        if !dedup {
+            prop_assert_eq!(g.num_edges(), expected_max);
+        }
+        // Neighbor lists are sorted (builder sorts arcs).
+        for v in 0..200u32 {
+            let nb = g.neighbors(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn raf_bounded_by_worst_case(scale in 7u32..10, seed in 0u64..50) {
+        // 1 <= RAF(a) <= (avg_sublist + 2a) / avg_sublist roughly; we
+        // assert the hard bounds: at least (close to) 1, at most a full
+        // alignment block per 8 B entry.
+        let g = GraphSpec::urand(scale).seed(seed).build();
+        let trace = bfs_trace(&g, 0);
+        for a in [8u64, 64, 512] {
+            let p = raf_for_trace(&g, &trace, a, default_capacity(&g, a));
+            prop_assert!(p.raf <= a as f64, "RAF {} > alignment {}", p.raf, a);
+            prop_assert!(p.raf > 0.2, "RAF {} absurdly low", p.raf);
+            prop_assert_eq!(p.fetched_bytes % a, 0, "fetches are line-granular");
+        }
+    }
+
+    #[test]
+    fn bfs_runtime_scales_with_graph_size(seed in 0u64..10) {
+        // Doubling the edge count should roughly double a W-capped run.
+        let small = GraphSpec::urand(10).seed(seed).build();
+        let large = GraphSpec::urand(11).seed(seed).build();
+        let sys = SystemConfig::emogi_on_dram(PcieGen::Gen4);
+        let ts = Traversal::bfs(0).run(&small, &sys).metrics.runtime.as_secs_f64();
+        let tl = Traversal::bfs(0).run(&large, &sys).metrics.runtime.as_secs_f64();
+        let ratio = tl / ts;
+        prop_assert!((1.4..3.0).contains(&ratio), "scaling ratio {}", ratio);
+    }
+}
