@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI for cxl-gpu-graph: tier-1 verification plus docs and bench-target
+# compilation. Everything runs offline (dependencies are vendored under
+# vendor/; see README.md "Offline dependency policy").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release (tier-1, LTO baseline)"
+cargo build --release
+
+echo "==> cargo test -q (tier-1, all workspace members)"
+cargo test -q
+
+echo "==> cargo doc --no-deps with rustdoc warnings denied"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+echo "==> bench targets compile"
+cargo build --benches
+
+echo "==> quickstart example runs"
+cargo run --release --example quickstart >/dev/null
+
+echo "==> all figure/table binaries run (small scale)"
+CXLG_SCALE=10 cargo run --release -p cxlg-bench --bin all_figures >/dev/null
+
+echo "CI OK"

@@ -1,6 +1,6 @@
 //! Multi-die, multi-plane microsecond-latency flash array.
 //!
-//! The XLFDD prototype [38] is built from "low-latency flash chips with a
+//! The XLFDD prototype \[38\] is built from "low-latency flash chips with a
 //! latency of under 5 usec" (§4.1.1). A *plane* serves one page read at a
 //! time (`tR`); low-latency flash supports independent multi-plane reads,
 //! and the array interleaves addresses across all planes, so aggregate

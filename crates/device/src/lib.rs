@@ -11,7 +11,7 @@
 //!   **latency bridge** ([`latency_bridge`]) that delays responses through
 //!   a timestamped FIFO to emulate slower media;
 //! * [`xlfdd::XlfddDrive`] — the microsecond-latency flash prototype of
-//!   §4.1 [38]: 16 B alignment, transfers up to 2 kB, 11 MIOPS per drive,
+//!   §4.1 \[38\]: 16 B alignment, transfers up to 2 kB, 11 MIOPS per drive,
 //!   built on a multi-die flash array ([`flash`]);
 //! * [`nvme::NvmeSsd`] — a conventional NVMe SSD as used by BaM: 512 B
 //!   blocks, 4 kB-optimal access, ~1.5 MIOPS per drive.

@@ -1,5 +1,5 @@
 //! XLFDD — the FPGA storage prototype with microsecond-latency flash
-//! (§4.1.1, reference [38] of the paper).
+//! (§4.1.1, reference \[38\] of the paper).
 //!
 //! Key properties the evaluation depends on:
 //!

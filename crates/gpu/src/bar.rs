@@ -3,7 +3,7 @@
 //! §4.1.1: "As with BaM, we place submission queues (SQs) and data buffers
 //! in the base address register (BAR) section of the GPU memory in order
 //! to control storage devices directly from the GPU. Note that we do not
-//! have completion queues [42]." The GPU writes an SQ entry; the drive
+//! have completion queues \[42\]." The GPU writes an SQ entry; the drive
 //! fetches it from BAR memory and later DMAs the payload back into the
 //! BAR data buffer. The costs that matter to the simulation are the SQ
 //! entry's traversal of the PCIe request path and the per-drive queue

@@ -3,7 +3,7 @@
 //! §3.3.1 of the paper: EMOGI issues zero-copy reads "at a multiple of
 //! 32 B up to the GPU's hardware cache line size of 128 B", and cleverly
 //! arranges the reads "so that the GPU merges them into a larger size when
-//! an edge sublist spans multiple of 32 B alignments" [14]. The resulting
+//! an edge sublist spans multiple of 32 B alignments" \[14\]. The resulting
 //! request-size distribution over 32/64/96/128 B determines the average
 //! transfer size `d_EMOGI` (their conservative estimate: 20/20/20/40 % ⇒
 //! 89.6 B), which in turn sets the latency budget through Equation 6.

@@ -3,7 +3,7 @@
 //!
 //! Related Work (§6): *"These methods are based on a unified virtual
 //! memory (UVM) approach where portions of the host DRAM are copied to
-//! the GPU memory via paging at a 4 kB granularity [15]. EMOGI instead
+//! the GPU memory via paging at a 4 kB granularity \[15\]. EMOGI instead
 //! uses zero-copy access and has shown that this fine-grained direct
 //! access significantly reduces the RAF compared with the UVM
 //! approach."*
@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// UVM paging parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct UvmConfig {
-    /// Migration granularity (4 kB pages, [15]).
+    /// Migration granularity (4 kB pages, \[15\]).
     pub page_bytes: u64,
     /// GPU memory devoted to migrated pages.
     pub resident_bytes: u64,

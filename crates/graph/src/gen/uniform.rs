@@ -1,5 +1,5 @@
 //! Uniform random graph generator (the paper's `urand27`, from the GAP
-//! benchmark suite [2]).
+//! benchmark suite \[2\]).
 //!
 //! `2^scale` vertices; undirected edges with independently uniform
 //! endpoints, symmetrized into a directed CSR. `urand27` in Table 1 has

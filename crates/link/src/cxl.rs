@@ -5,7 +5,7 @@
 //! limit — individual devices are (the Agilex-7 prototype handles 128).
 //! The CXL data transfer size is **64 B**, so larger GPU reads are split:
 //! *"a 128 B or 96 B read from the GPU through PCIe is split into two 64 B
-//! reads at the CXL level, [so] the number of requests for the CXL memory
+//! reads at the CXL level, \[so\] the number of requests for the CXL memory
 //! can double"* (§4.2.2).
 
 use cxlg_sim::SimDuration;

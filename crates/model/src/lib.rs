@@ -5,7 +5,7 @@
 //! * Equation 3: Little's Law `N·d = T·L` ([`littles_law_outstanding`]);
 //! * Equation 5: slope `s = min(S, Nmax/L)` ([`slope`]);
 //! * Equation 6: the external-memory requirements for matching host-DRAM
-//!   EMOGI performance ([`requirements`]);
+//!   EMOGI performance ([`requirements`](mod@requirements));
 //! * Figure 4: the `D(d)`, `T(d)`, `t(d)` curves ([`fig4`]).
 //!
 //! Everything here is validated against the discrete-event simulation in

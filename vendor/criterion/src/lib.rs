@@ -1,0 +1,223 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use —
+//! `benchmark_group`, `sample_size`, `throughput`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a plain
+//! `Instant`-based timer instead of criterion's statistics engine. Each
+//! benchmark runs `sample_size` timed iterations after one warm-up and
+//! reports the mean, so `cargo bench` gives usable (if unfancy)
+//! numbers, and the bench targets stay compiling against the same code
+//! real criterion would see.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self {
+        run_one("", &id.into_benchmark_id().0, 10, None, |b| f(b));
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &self.name,
+            &id.into_benchmark_id().0,
+            self.sample_size,
+            self.throughput,
+            |b| f(b),
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &self.name,
+            &id.into_benchmark_id().0,
+            self.sample_size,
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    group: &str,
+    id: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+        warm: false,
+    };
+    // One warm-up invocation, untimed.
+    f(&mut b);
+    b.warm = true;
+    b.elapsed = Duration::ZERO;
+    b.iters = 0;
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    if b.iters == 0 {
+        println!("{label}: no iterations recorded");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    let mut line = format!("{label}: {:.3} ms/iter ({} iters)", per_iter * 1e3, b.iters);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            line.push_str(&format!(", {:.2} Melem/s", n as f64 / per_iter / 1e6));
+        }
+        Some(Throughput::Bytes(n)) => {
+            line.push_str(&format!(", {:.2} MB/s", n as f64 / per_iter / 1e6));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// Per-benchmark timing context handed to the closure.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+    warm: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        black_box(f());
+        let dt = start.elapsed();
+        if self.warm {
+            self.elapsed += dt;
+            self.iters += 1;
+        }
+    }
+}
+
+/// Units for group throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{name}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        BenchmarkId(param.to_string())
+    }
+}
+
+/// Anything usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for `rayon`.
+//!
+//! The workspace uses rayon only in "convert the outer loop" shapes:
+//! `par_iter().map(..).collect()`, `into_par_iter()`, `par_extend`, and
+//! `par_sort_unstable`. This stub keeps those entry points but executes
+//! them **sequentially**: `par_iter` hands back the ordinary `std`
+//! iterator, so every adapter (`map`, `filter`, `collect`, `sum`, …)
+//! works unchanged, and results are bit-identical to the parallel
+//! versions (the simulator's sweeps are deterministic and
+//! embarrassingly parallel, so order never matters to correctness —
+//! only to wall-clock, which a future PR can win back by swapping the
+//! real rayon in here).
+
+/// Rayon-only adapter names, aliased onto every std iterator so that
+/// code written against real rayon's `ParallelIterator` keeps compiling
+/// when `par_iter()` hands back a sequential iterator.
+pub trait ParallelIterator: Iterator + Sized {
+    /// rayon's `flat_map_iter` (flat-map with a serial inner iterator):
+    /// identical to `flat_map` sequentially.
+    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(f)
+    }
+
+    /// rayon's work-splitting hint: a no-op sequentially.
+    fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    /// rayon's work-splitting hint: a no-op sequentially.
+    fn with_max_len(self, _len: usize) -> Self {
+        self
+    }
+}
+
+impl<I: Iterator> ParallelIterator for I {}
+
+/// `into_par_iter()` for owned collections — sequential fallback.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+/// `par_iter()` for `&collection` — sequential fallback.
+pub trait IntoParallelRefIterator<'a> {
+    type Iter;
+
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoIterator,
+{
+    type Iter = <&'a C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_iter_mut()` for `&mut collection` — sequential fallback.
+pub trait IntoParallelRefMutIterator<'a> {
+    type Iter;
+
+    fn par_iter_mut(&'a mut self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
+where
+    &'a mut C: IntoIterator,
+{
+    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+
+    fn par_iter_mut(&'a mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `par_extend` for collections — sequential fallback.
+pub trait ParallelExtend<T> {
+    fn par_extend<I: IntoIterator<Item = T>>(&mut self, iter: I);
+}
+
+impl<T, C: Extend<T>> ParallelExtend<T> for C {
+    fn par_extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.extend(iter)
+    }
+}
+
+/// Parallel slice sorts/chunking — sequential fallbacks.
+pub trait ParallelSliceMut<T> {
+    fn as_seq_slice_mut(&mut self) -> &mut [T];
+
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.as_seq_slice_mut().sort();
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.as_seq_slice_mut().sort_unstable();
+    }
+
+    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
+        self.as_seq_slice_mut().sort_unstable_by_key(f);
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.as_seq_slice_mut().chunks_mut(size)
+    }
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn as_seq_slice_mut(&mut self) -> &mut [T] {
+        self
+    }
+}
+
+/// Read-only parallel slice chunking — sequential fallback.
+pub trait ParallelSlice<T> {
+    fn as_seq_slice(&self) -> &[T];
+
+    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+        self.as_seq_slice().chunks(size)
+    }
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn as_seq_slice(&self) -> &[T] {
+        self
+    }
+}
+
+/// Run two closures "in parallel" (sequentially here) and return both
+/// results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of worker threads: 1 in the sequential stand-in.
+pub fn current_num_threads() -> usize {
+    1
+}
+
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelExtend, ParallelIterator, ParallelSlice, ParallelSliceMut,
+    };
+}

@@ -1,0 +1,389 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build container has no access to crates.io, so this workspace
+//! vendors a minimal serde implementation (see `vendor/serde`) built
+//! around a JSON-like `Value` tree: `Serialize` lowers a type to a
+//! `serde::Value` and `Deserialize` raises one back. These derive macros
+//! generate those impls for the shapes the workspace actually uses:
+//!
+//! * unit / tuple / named-field structs (no generics),
+//! * enums with unit, tuple, and struct variants, externally tagged the
+//!   way real serde tags them (`"Variant"`, `{"Variant": ...}`).
+//!
+//! The parser below walks the raw `proc_macro::TokenStream` by hand
+//! because `syn`/`quote` are not available offline. It only needs field
+//! and variant *names* (plus tuple arities): the generated code calls
+//! `serde::Serialize`/`serde::Deserialize` generically, so field types
+//! never have to be understood, only skipped (tracking `<`/`>` depth so
+//! commas inside `Vec<(f64, f64)>` do not end a field early).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_serialize(&name, &shape).parse().unwrap()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = parse_item(input);
+    gen_deserialize(&name, &shape).parse().unwrap()
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> (String, Shape) {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub: generic type `{name}` not supported");
+        }
+    }
+    let shape = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive stub: malformed enum `{name}`: {other:?}"),
+        },
+        other => panic!("serde_derive stub: expected struct or enum, found `{other}`"),
+    };
+    (name, shape)
+}
+
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = toks.get(*i) {
+        if p.as_char() == '#' {
+            *i += 2; // '#' and the following [...] group
+        } else {
+            break;
+        }
+    }
+}
+
+fn skip_vis(toks: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = toks.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate) / pub(super)
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive stub: expected identifier, found {other:?}"),
+    }
+}
+
+/// Advance past one type (or discriminant expression), stopping after the
+/// next top-level `,` or at end of stream. Angle-bracket depth is tracked;
+/// `()`/`[]`/`{}` arrive as whole groups so they need no tracking. The `>`
+/// of a `->` (fn-pointer return type) is not a closing bracket: a joint
+/// `-` immediately before it marks it as part of the arrow.
+fn skip_past_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i64;
+    let mut after_joint_minus = false;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' if !after_joint_minus => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+            after_joint_minus =
+                p.as_char() == '-' && p.spacing() == proc_macro::Spacing::Joint;
+        } else {
+            after_joint_minus = false;
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        fields.push(expect_ident(&toks, &mut i));
+        // ':'
+        i += 1;
+        skip_past_comma(&toks, &mut i);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        skip_past_comma(&toks, &mut i);
+        count += 1;
+    }
+    // A trailing comma leaves no tokens after the last separator, so the
+    // loop above counts fields, not separators.
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let k = VariantKind::Named(parse_named_fields(g.stream()));
+                i += 1;
+                k
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let k = VariantKind::Tuple(count_tuple_fields(g.stream()));
+                i += 1;
+                k
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional `= discriminant` up to the separating comma.
+        skip_past_comma(&toks, &mut i);
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::NamedStruct(fields) => map_literal(
+            fields
+                .iter()
+                .map(|f| (f.clone(), format!("::serde::Serialize::to_value(&self.{f})"))),
+        ),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        arms.push_str(&format!(
+                            "{name}::{vn}(__f0) => {},\n",
+                            tagged(vn, "::serde::Serialize::to_value(__f0)")
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => {},\n",
+                            binds.join(", "),
+                            tagged(vn, &format!("::serde::Value::Array(vec![{}])", items.join(", ")))
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inner = map_literal(
+                            fields
+                                .iter()
+                                .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})"))),
+                        );
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {},\n",
+                            fields.join(", "),
+                            tagged(vn, &inner)
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn map_literal(entries: impl Iterator<Item = (String, String)>) -> String {
+    let items: Vec<String> = entries
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!("::serde::Value::Map(vec![{}])", items.join(", "))
+}
+
+fn tagged(variant: &str, inner: &str) -> String {
+    format!(
+        "::serde::Value::Map(vec![(::std::string::String::from(\"{variant}\"), {inner})])"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
+                .collect();
+            format!(
+                "let __a = ::serde::__expect_array(v, \"{name}\", {n})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Shape::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__field(__m, \"{f}\", \"{name}\")?"))
+                .collect();
+            format!(
+                "let __m = ::serde::__expect_map(v, \"{name}\")?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => {
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(__inner)?)),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__a[{k}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __a = ::serde::__expect_array(__inner, \"{name}::{vn}\", {n})?;\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: ::serde::__field(__m, \"{f}\", \"{name}::{vn}\")?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let __m = ::serde::__expect_map(__inner, \"{name}::{vn}\")?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {} }})\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                 \"unknown unit variant `{{__other}}` for {name}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__m[0];\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                 \"unknown variant `{{__other}}` for {name}\"))),\n\
+                 }}\n}},\n\
+                 __other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                 \"invalid value for enum {name}: {{__other:?}}\"))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
