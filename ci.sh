@@ -8,8 +8,12 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release (tier-1, LTO baseline)"
 cargo build --release
 
-echo "==> cargo test -q (tier-1, all workspace members)"
-cargo test -q
+echo "==> cargo test -q (tier-1, all workspace members, 1-thread and 4-thread pools)"
+# The vendored rayon promises bit-identical results at any pool size;
+# run the whole suite at both extremes so thread-count nondeterminism
+# (not just crashes) fails the gate.
+RAYON_NUM_THREADS=1 cargo test -q
+RAYON_NUM_THREADS=4 cargo test -q
 
 echo "==> cargo doc --no-deps with rustdoc warnings denied"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
@@ -22,5 +26,15 @@ cargo run --release --example quickstart >/dev/null
 
 echo "==> all figure/table binaries run (small scale)"
 CXLG_SCALE=10 cargo run --release -p cxlg-bench --bin all_figures >/dev/null
+
+echo "==> figure JSON is byte-identical across thread counts"
+# One full figure binary (generators + CSR build + parallel sweep) at two
+# pool sizes; any divergence in the dumped JSON is a determinism bug.
+CXLG_SCALE=10 RAYON_NUM_THREADS=1 CXLG_RESULTS_DIR=target/ci-results-t1 \
+    cargo run --release -p cxlg-bench --bin fig3 >/dev/null
+CXLG_SCALE=10 RAYON_NUM_THREADS=4 CXLG_RESULTS_DIR=target/ci-results-t4 \
+    cargo run --release -p cxlg-bench --bin fig3 >/dev/null
+cmp target/ci-results-t1/fig3.json target/ci-results-t4/fig3.json \
+    || { echo "fig3.json differs between RAYON_NUM_THREADS=1 and 4"; exit 1; }
 
 echo "CI OK"

@@ -48,8 +48,23 @@ pub struct LabelledRun {
 
 /// Normalize a set of runtimes by a baseline runtime (the paper
 /// normalizes XLFDD/BaM by EMOGI, and CXL by host DRAM).
+///
+/// # Panics
+///
+/// Panics if the baseline runtime is zero: a zero baseline would turn
+/// every normalized point into `inf`/`NaN`, which serializes into figure
+/// JSON without complaint and poisons the BENCH_* trajectories silently.
+/// A zero simulated runtime always indicates a mis-configured run (empty
+/// trace, degenerate graph), so fail loudly at the source.
 pub fn normalized_runtimes(baseline: &RunReport, runs: &[LabelledRun]) -> Vec<(String, f64)> {
     let base = baseline.metrics.runtime.as_secs_f64();
+    assert!(
+        base > 0.0,
+        "normalized_runtimes: baseline runtime must be positive, got {base} s \
+         (baseline workload {:?} on {:?}); every normalized point would be inf/NaN",
+        baseline.workload,
+        baseline.backend,
+    );
     runs.iter()
         .map(|r| {
             (
@@ -63,8 +78,22 @@ pub fn normalized_runtimes(baseline: &RunReport, runs: &[LabelledRun]) -> Vec<(S
 /// Geometric mean of ratios — the paper summarizes Fig. 6 as geometric
 /// means ("1.13 times longer on average, where the geometric mean is
 /// taken over all the six pairs").
+///
+/// # Panics
+///
+/// Panics on an empty input and on any non-positive (or NaN) ratio:
+/// `ln()` of zero or a negative number is `-inf`/`NaN`, which would
+/// propagate into the summary statistic with no diagnostic. Runtime
+/// ratios are positive by construction, so a violation is a bug upstream.
 pub fn geometric_mean(xs: &[f64]) -> f64 {
     assert!(!xs.is_empty(), "geometric mean of nothing");
+    for (i, &x) in xs.iter().enumerate() {
+        assert!(
+            x > 0.0,
+            "geometric_mean: ratio [{i}] = {x} is not positive; \
+             the geometric mean is only defined over positive ratios"
+        );
+    }
     let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
     (log_sum / xs.len() as f64).exp()
 }
@@ -83,14 +112,45 @@ mod tests {
             SystemConfig::emogi_on_dram(PcieGen::Gen4),
             SystemConfig::emogi_on_cxl(PcieGen::Gen3, 5),
         ];
-        let par = sweep_systems(&g, Traversal::bfs(0), &systems);
         let seq: Vec<_> = systems
             .iter()
             .map(|s| Traversal::bfs(0).run(&g, s))
             .collect();
-        for (a, b) in par.iter().zip(&seq) {
-            assert_eq!(a.metrics.runtime, b.metrics.runtime);
-            assert_eq!(a.metrics.fetched_bytes, b.metrics.fetched_bytes);
+        // The sequential reference must be reproduced bit-for-bit at
+        // every pool size, not just the default one.
+        for threads in [1, 2, 8] {
+            let par =
+                rayon::with_num_threads(threads, || sweep_systems(&g, Traversal::bfs(0), &systems));
+            for (a, b) in par.iter().zip(&seq) {
+                assert_eq!(a.metrics.runtime, b.metrics.runtime, "threads={threads}");
+                assert_eq!(a.metrics.fetched_bytes, b.metrics.fetched_bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_reports_are_byte_identical_across_thread_counts() {
+        // The figure JSON is serialized straight from RunReports, so
+        // compare the full serialized form — not just a few fields.
+        let g = GraphSpec::kron(9).seed(3).build();
+        let systems: Vec<SystemConfig> = (0..5)
+            .map(|i| {
+                SystemConfig::emogi_on_cxl(PcieGen::Gen3, 5).with_added_latency_us(i as f64 * 0.5)
+            })
+            .collect();
+        let run = |threads: usize| {
+            rayon::with_num_threads(threads, || {
+                let reports = sweep_systems(&g, Traversal::bfs(0), &systems);
+                serde_json::to_string(&reports).expect("serialize reports")
+            })
+        };
+        let reference = run(1);
+        for threads in [2, 8] {
+            assert_eq!(
+                run(threads),
+                reference,
+                "sweep JSON differs between 1 and {threads} threads"
+            );
         }
     }
 
@@ -106,6 +166,37 @@ mod tests {
         assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
         assert!((geometric_mean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
         assert!((geometric_mean(&[2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "geometric mean of nothing")]
+    fn geometric_mean_rejects_empty_input() {
+        geometric_mean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not positive")]
+    fn geometric_mean_rejects_zero_ratio() {
+        geometric_mean(&[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not positive")]
+    fn geometric_mean_rejects_negative_ratio() {
+        geometric_mean(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "baseline runtime must be positive")]
+    fn normalization_rejects_zero_baseline() {
+        let g = GraphSpec::urand(8).seed(1).build();
+        let mut base = Traversal::bfs(0).run(&g, &SystemConfig::emogi_on_dram(PcieGen::Gen4));
+        base.metrics.runtime = SimDuration::ZERO;
+        let runs = vec![LabelledRun {
+            label: "any".into(),
+            report: base.clone(),
+        }];
+        normalized_runtimes(&base, &runs);
     }
 
     #[test]

@@ -2,7 +2,8 @@
 //!
 //! The generators produce flat `(src, dst)` arc lists; this module turns
 //! them into [`Csr`] by a rayon parallel sort on a packed `src << 32 | dst`
-//! key followed by an offsets scan. Sorting also groups each vertex's
+//! key followed by a parallel partition-point scan for the per-vertex
+//! offsets. Sorting also groups each vertex's
 //! sublist contiguously, which is what gives real CSR edge lists their
 //! spatial locality — a property the read-amplification results (Fig. 3)
 //! depend on.
@@ -34,16 +35,35 @@ pub fn csr_from_packed_arcs(n: usize, mut arcs: Vec<u64>, dedup: bool) -> Csr {
     if dedup {
         arcs.dedup();
     }
-    let mut offsets = vec![0u64; n + 1];
-    // Count per-source degrees, then exclusive prefix sum.
-    for &a in &arcs {
-        let (src, _) = unpack_arc(a);
-        debug_assert!((src as usize) < n, "src {src} out of range");
-        offsets[src as usize + 1] += 1;
+    // The arcs are sorted, so the largest src is in the last arc.
+    if let Some(&last) = arcs.last() {
+        let (src, _) = unpack_arc(last);
+        assert!((src as usize) < n, "arc with src {src} out of range (n = {n})");
     }
-    for i in 0..n {
-        offsets[i + 1] += offsets[i];
-    }
+    // Offsets from the *sorted* arc list: `offsets[v]` is the number of
+    // arcs with src < v. Fixed-size vertex chunks (boundaries depend on
+    // `n` alone, keeping the result thread-count-invariant) each locate
+    // their arc segment with one binary search, then walk it linearly —
+    // O((n + m) / threads) overall, replacing the old sequential
+    // count-and-prefix-sum, which serialized on `&mut offsets`.
+    const VERTEX_CHUNK: u64 = 1 << 16;
+    let vertex_chunks: Vec<(u64, u64)> = (0..(n as u64).div_ceil(VERTEX_CHUNK))
+        .map(|i| (i * VERTEX_CHUNK, ((i + 1) * VERTEX_CHUNK).min(n as u64)))
+        .collect();
+    let mut offsets: Vec<u64> = vertex_chunks
+        .par_iter()
+        .flat_map_iter(|&(lo, hi)| {
+            let arcs = &arcs;
+            let mut pos = arcs.partition_point(|&a| (a >> 32) < lo);
+            (lo..hi).map(move |v| {
+                while pos < arcs.len() && (arcs[pos] >> 32) < v {
+                    pos += 1;
+                }
+                pos as u64
+            })
+        })
+        .collect();
+    offsets.push(arcs.len() as u64);
     let targets: Vec<VertexId> = arcs.par_iter().map(|&a| unpack_arc(a).1).collect();
     Csr::from_parts(offsets, targets)
 }

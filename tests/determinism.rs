@@ -45,6 +45,31 @@ fn parallel_sweep_equals_sequential_run() {
 }
 
 #[test]
+fn full_stack_is_byte_identical_across_thread_counts() {
+    // Generator -> CSR -> sweep, serialized exactly as the figure
+    // binaries serialize it, compared across pool sizes. This is the
+    // in-process version of ci.sh's cross-thread-count JSON diff.
+    let run = |threads: usize| {
+        rayon::with_num_threads(threads, || {
+            let g = GraphSpec::kron(10).seed(42).build();
+            let systems: Vec<Sys> = (0..5)
+                .map(|i| Sys::emogi_on_cxl(PcieGen::Gen3, 5).with_added_latency_us(i as f64 * 0.4))
+                .collect();
+            let reports = sweep_systems(&g, Traversal::bfs(g.max_degree_vertex().unwrap()), &systems);
+            serde_json::to_string(&reports).expect("serialize sweep reports")
+        })
+    };
+    let reference = run(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            run(threads),
+            reference,
+            "sweep JSON differs between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
 fn nested_parallel_sweeps_are_stable() {
     // Sweep of sweeps — the shape fig11 uses. Run twice, compare.
     let run_all = || {

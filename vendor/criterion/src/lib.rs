@@ -5,10 +5,12 @@
 //! `bench_with_input`, `BenchmarkId`, `black_box`, and the
 //! `criterion_group!`/`criterion_main!` macros — backed by a plain
 //! `Instant`-based timer instead of criterion's statistics engine. Each
-//! benchmark runs `sample_size` timed iterations after one warm-up and
-//! reports the mean, so `cargo bench` gives usable (if unfancy)
-//! numbers, and the bench targets stay compiling against the same code
-//! real criterion would see.
+//! benchmark runs `sample_size` timed samples after one warm-up and
+//! reports the mean, sample standard deviation, min/max, and a Tukey-IQR
+//! outlier count (samples outside `[Q1 - 1.5·IQR, Q3 + 1.5·IQR]`), so
+//! BENCH_* trajectories carry enough dispersion information to judge
+//! whether a delta is noise — while the bench targets stay compiling
+//! against the same code real criterion would see.
 
 use std::time::{Duration, Instant};
 
@@ -112,32 +114,107 @@ fn run_one(
     // One warm-up invocation, untimed.
     f(&mut b);
     b.warm = true;
-    b.elapsed = Duration::ZERO;
-    b.iters = 0;
+    // Each invocation of `f` is one sample; record its per-iteration time
+    // so dispersion across samples is visible, not averaged away.
+    let mut per_iter_secs = Vec::with_capacity(samples);
     for _ in 0..samples {
+        b.elapsed = Duration::ZERO;
+        b.iters = 0;
         f(&mut b);
+        if b.iters > 0 {
+            per_iter_secs.push(b.elapsed.as_secs_f64() / b.iters as f64);
+        }
     }
     let label = if group.is_empty() {
         id.to_string()
     } else {
         format!("{group}/{id}")
     };
-    if b.iters == 0 {
+    let Some(stats) = SampleStats::from_samples(&per_iter_secs) else {
         println!("{label}: no iterations recorded");
         return;
+    };
+    let mut line = format!(
+        "{label}: {:.3} ms/iter ± {:.3} (min {:.3}, max {:.3}, N={}",
+        stats.mean * 1e3,
+        stats.std_dev * 1e3,
+        stats.min * 1e3,
+        stats.max * 1e3,
+        stats.len,
+    );
+    if stats.outliers > 0 {
+        line.push_str(&format!(", {} outliers", stats.outliers));
     }
-    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
-    let mut line = format!("{label}: {:.3} ms/iter ({} iters)", per_iter * 1e3, b.iters);
+    line.push(')');
     match throughput {
         Some(Throughput::Elements(n)) => {
-            line.push_str(&format!(", {:.2} Melem/s", n as f64 / per_iter / 1e6));
+            line.push_str(&format!(", {:.2} Melem/s", n as f64 / stats.mean / 1e6));
         }
         Some(Throughput::Bytes(n)) => {
-            line.push_str(&format!(", {:.2} MB/s", n as f64 / per_iter / 1e6));
+            line.push_str(&format!(", {:.2} MB/s", n as f64 / stats.mean / 1e6));
         }
         None => {}
     }
     println!("{line}");
+}
+
+/// Summary statistics over a benchmark's per-iteration sample times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Number of samples.
+    pub len: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for a single sample).
+    pub std_dev: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Samples outside the Tukey fences `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]`.
+    pub outliers: usize,
+}
+
+impl SampleStats {
+    /// Summarize `samples`; `None` when empty.
+    pub fn from_samples(samples: &[f64]) -> Option<SampleStats> {
+        if samples.is_empty() {
+            return None;
+        }
+        let len = samples.len();
+        let mean = samples.iter().sum::<f64>() / len as f64;
+        let std_dev = if len > 1 {
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (len - 1) as f64;
+            var.sqrt()
+        } else {
+            0.0
+        };
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample time"));
+        let q1 = percentile(&sorted, 0.25);
+        let q3 = percentile(&sorted, 0.75);
+        let iqr = q3 - q1;
+        let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+        let outliers = sorted.iter().filter(|&&x| x < lo || x > hi).count();
+        Some(SampleStats {
+            len,
+            mean,
+            std_dev,
+            min: sorted[0],
+            max: sorted[len - 1],
+            outliers,
+        })
+    }
+}
+
+/// Linear-interpolated percentile of an ascending-sorted, non-empty slice
+/// (`p` in `[0, 1]`).
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let rank = p * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
 /// Per-benchmark timing context handed to the closure.
@@ -200,6 +277,57 @@ impl IntoBenchmarkId for &str {
 impl IntoBenchmarkId for String {
     fn into_benchmark_id(self) -> BenchmarkId {
         BenchmarkId(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_of_empty_input_is_none() {
+        assert!(SampleStats::from_samples(&[]).is_none());
+    }
+
+    #[test]
+    fn stats_of_single_sample() {
+        let s = SampleStats::from_samples(&[2.5]).unwrap();
+        assert_eq!(s.len, 1);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!((s.min, s.max), (2.5, 2.5));
+        assert_eq!(s.outliers, 0);
+    }
+
+    #[test]
+    fn stats_mean_and_std_dev() {
+        // Known sample std dev: [2, 4, 4, 4, 5, 5, 7, 9] has mean 5 and
+        // sample variance 32/7.
+        let s = SampleStats::from_samples(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!((s.min, s.max), (2.0, 9.0));
+    }
+
+    #[test]
+    fn iqr_flags_the_outlier() {
+        // Tight cluster plus one far point: exactly one Tukey outlier.
+        let mut samples = vec![10.0, 10.1, 10.2, 9.9, 9.8, 10.0, 10.1, 9.9];
+        samples.push(50.0);
+        let s = SampleStats::from_samples(&samples).unwrap();
+        assert_eq!(s.outliers, 1, "{s:?}");
+        // And with the far point removed, none.
+        samples.pop();
+        assert_eq!(SampleStats::from_samples(&samples).unwrap().outliers, 0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&sorted, 0.0), 1.0);
+        assert_eq!(percentile(&sorted, 1.0), 4.0);
+        assert!((percentile(&sorted, 0.5) - 2.5).abs() < 1e-12);
+        assert!((percentile(&sorted, 0.25) - 1.75).abs() < 1e-12);
     }
 }
 

@@ -1,165 +1,1238 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by a **real scoped thread pool**.
 //!
-//! The workspace uses rayon only in "convert the outer loop" shapes:
-//! `par_iter().map(..).collect()`, `into_par_iter()`, `par_extend`, and
-//! `par_sort_unstable`. This stub keeps those entry points but executes
-//! them **sequentially**: `par_iter` hands back the ordinary `std`
-//! iterator, so every adapter (`map`, `filter`, `collect`, `sum`, …)
-//! works unchanged, and results are bit-identical to the parallel
-//! versions (the simulator's sweeps are deterministic and
-//! embarrassingly parallel, so order never matters to correctness —
-//! only to wall-clock, which a future PR can win back by swapping the
-//! real rayon in here).
+//! PR 1 shipped this crate as a sequential shim; this version executes the
+//! same API surface on worker threads spawned with [`std::thread::scope`]
+//! while keeping every result **bit-identical** to a sequential run:
+//!
+//! * Indexed work (`par_iter`, `into_par_iter`, `par_iter_mut`,
+//!   `par_chunks{,_mut}`) is split into contiguous chunks whose boundaries
+//!   depend only on the input length — never on the thread count — and each
+//!   chunk's output lands in a per-chunk slot. Ordered `collect()` is the
+//!   concatenation of those slots, i.e. exactly the sequential order.
+//! * The `par_sort*` family is a parallel merge sort: deterministic initial
+//!   runs are sorted concurrently, then adjacent runs are merged pairwise
+//!   (also concurrently) with a stable, panic-safe merge. Because run
+//!   boundaries are a function of the length alone and the merge is stable,
+//!   the result is identical for any `RAYON_NUM_THREADS`.
+//! * [`join`] runs its two closures on two threads when the pool has more
+//!   than one.
+//!
+//! Worker threads are created per parallel call (scoped threads, so
+//! borrowed captures work exactly as with real rayon's pool) and work is
+//! distributed chunk-by-chunk from a shared queue, which load-balances
+//! uneven sweep points without affecting output order.
+//!
+//! ## Thread-count control
+//!
+//! The pool size is resolved **per call**, in this order:
+//!
+//! 1. a scoped [`with_num_threads`] override (thread-local; used by the
+//!    determinism tests to compare 1/2/8-thread runs inside one process),
+//! 2. the `RAYON_NUM_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! The override is deliberately *not* inherited by worker threads: nested
+//! parallel calls made from inside a worker fall back to 2–3, which at most
+//! changes scheduling, never results.
+//!
+//! ## Implemented subset
+//!
+//! Exactly the shapes the workspace uses (see each trait's docs): the
+//! adapters `map`, `filter`, `flat_map_iter`, `with_min_len`/`with_max_len`
+//! (hints, no-ops here), and the consumers `collect`, `for_each`, `count`.
 
-/// Rayon-only adapter names, aliased onto every std iterator so that
-/// code written against real rayon's `ParallelIterator` keeps compiling
-/// when `par_iter()` hands back a sequential iterator.
-pub trait ParallelIterator: Iterator + Sized {
-    /// rayon's `flat_map_iter` (flat-map with a serial inner iterator):
-    /// identical to `flat_map` sequentially.
-    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+use std::cell::Cell;
+use std::cmp::Ordering;
+use std::sync::Mutex;
+
+// --------------------------------------------------------------------------
+// Pool sizing
+// --------------------------------------------------------------------------
+
+thread_local! {
+    /// Scoped thread-count override; 0 means "not set".
+    static THREADS_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads a parallel call issued from this thread will
+/// use: the [`with_num_threads`] override if one is active, else
+/// `RAYON_NUM_THREADS`, else the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    let o = THREADS_OVERRIDE.with(Cell::get);
+    if o > 0 {
+        return o;
+    }
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `f` with every parallel call on *this* thread using `n` workers.
+///
+/// Restores the previous setting on exit (also on unwind), so tests can
+/// compare runs at several thread counts without touching the process
+/// environment (and therefore without racing parallel test threads).
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n > 0, "with_num_threads: thread count must be positive");
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREADS_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREADS_OVERRIDE.with(|c| c.replace(n)));
+    f()
+}
+
+// --------------------------------------------------------------------------
+// Execution engine
+// --------------------------------------------------------------------------
+
+/// Upper bound on work chunks per parallel call. Purely a granularity
+/// knob: results never depend on it, and it comfortably exceeds the core
+/// counts this simulator targets.
+const MAX_CHUNKS: usize = 64;
+
+/// Number of chunks for an indexed workload of `len` items. Depends on
+/// `len` **only** — never on the thread count — so chunk boundaries (and
+/// with them sort stability and chunk-local state) are reproducible across
+/// `RAYON_NUM_THREADS` settings.
+fn chunk_count(len: usize) -> usize {
+    len.min(MAX_CHUNKS)
+}
+
+/// Inclusive-start of chunk `i` of `n` over `len` items (balanced to ±1).
+fn chunk_start(len: usize, n: usize, i: usize) -> usize {
+    i * len / n
+}
+
+/// Run `work` over `parts` on the current pool and return the results in
+/// part order. Parts are handed to workers from a shared queue, so an
+/// expensive part does not serialize the cheap ones behind it; each result
+/// is written to its part's slot, so the output order is deterministic.
+fn run_ordered<P, R, W>(parts: Vec<P>, work: W) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    W: Fn(P) -> R + Sync,
+{
+    let threads = current_num_threads().min(parts.len());
+    if threads <= 1 {
+        return parts.into_iter().map(work).collect();
+    }
+    let n = parts.len();
+    let queue = Mutex::new(parts.into_iter().enumerate());
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let next = queue.lock().unwrap().next();
+                let Some((i, part)) = next else { break };
+                let r = work(part);
+                slots.lock().unwrap()[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|slot| slot.expect("worker filled every slot"))
+        .collect()
+}
+
+// --------------------------------------------------------------------------
+// Sources: splittable indexed inputs
+// --------------------------------------------------------------------------
+
+/// An indexed input that can be split into contiguous, in-order chunks,
+/// each of which is consumed sequentially on one worker.
+pub trait ParSource: Sized + Send {
+    /// Item the pipeline receives.
+    type Item: Send;
+    /// One contiguous chunk of the input.
+    type Chunk: Send;
+    /// Sequential iterator over a chunk.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// Split into exactly `n` contiguous chunks, in input order
+    /// (`0 < n <= self.len()`).
+    fn into_chunks(self, n: usize) -> Vec<Self::Chunk>;
+    /// Iterate one chunk.
+    fn iter_chunk(chunk: Self::Chunk) -> Self::Iter;
+}
+
+/// Borrowed-slice source (`par_iter`).
+pub struct SliceSource<'a, T>(&'a [T]);
+
+impl<'a, T: Sync> ParSource for SliceSource<'a, T> {
+    type Item = &'a T;
+    type Chunk = &'a [T];
+    type Iter = std::slice::Iter<'a, T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn into_chunks(self, n: usize) -> Vec<Self::Chunk> {
+        let len = self.0.len();
+        (0..n)
+            .map(|i| &self.0[chunk_start(len, n, i)..chunk_start(len, n, i + 1)])
+            .collect()
+    }
+
+    fn iter_chunk(chunk: Self::Chunk) -> Self::Iter {
+        chunk.iter()
+    }
+}
+
+/// Mutable-slice source (`par_iter_mut`).
+pub struct SliceMutSource<'a, T>(&'a mut [T]);
+
+impl<'a, T: Send> ParSource for SliceMutSource<'a, T> {
+    type Item = &'a mut T;
+    type Chunk = &'a mut [T];
+    type Iter = std::slice::IterMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn into_chunks(self, n: usize) -> Vec<Self::Chunk> {
+        let len = self.0.len();
+        let mut rest = self.0;
+        let mut out = Vec::with_capacity(n);
+        let mut prev = 0;
+        for i in 1..=n {
+            let end = chunk_start(len, n, i);
+            let (head, tail) = rest.split_at_mut(end - prev);
+            out.push(head);
+            rest = tail;
+            prev = end;
+        }
+        out
+    }
+
+    fn iter_chunk(chunk: Self::Chunk) -> Self::Iter {
+        chunk.iter_mut()
+    }
+}
+
+/// Owned-`Vec` source (`into_par_iter`). Splitting moves elements into
+/// per-chunk `Vec`s up front; the workspace only feeds small descriptor
+/// vectors (sweep points, chunk descriptors) through this path.
+pub struct VecSource<T>(Vec<T>);
+
+impl<T: Send> ParSource for VecSource<T> {
+    type Item = T;
+    type Chunk = Vec<T>;
+    type Iter = std::vec::IntoIter<T>;
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn into_chunks(mut self, n: usize) -> Vec<Self::Chunk> {
+        let len = self.0.len();
+        let mut out = Vec::with_capacity(n);
+        for i in (0..n).rev() {
+            out.push(self.0.split_off(chunk_start(len, n, i)));
+        }
+        out.reverse();
+        out
+    }
+
+    fn iter_chunk(chunk: Self::Chunk) -> Self::Iter {
+        chunk.into_iter()
+    }
+}
+
+/// Integer-range source (`(0..n).into_par_iter()`): splitting is free, so
+/// index-driven loops (e.g. the CSR offsets scan) parallelize without
+/// materializing an index vector.
+pub struct RangeSource<T>(std::ops::Range<T>);
+
+macro_rules! range_source {
+    ($($t:ty),*) => {$(
+        impl ParSource for RangeSource<$t> {
+            type Item = $t;
+            type Chunk = std::ops::Range<$t>;
+            type Iter = std::ops::Range<$t>;
+
+            fn len(&self) -> usize {
+                self.0.end.saturating_sub(self.0.start) as usize
+            }
+
+            fn into_chunks(self, n: usize) -> Vec<Self::Chunk> {
+                let len = ParSource::len(&self);
+                let start = self.0.start;
+                (0..n)
+                    .map(|i| {
+                        (start + chunk_start(len, n, i) as $t)
+                            ..(start + chunk_start(len, n, i + 1) as $t)
+                    })
+                    .collect()
+            }
+
+            fn iter_chunk(chunk: Self::Chunk) -> Self::Iter {
+                chunk
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = ParIter<RangeSource<$t>, IdentOp>;
+
+            fn into_par_iter(self) -> Self::Iter {
+                ParIter {
+                    source: RangeSource(self),
+                    op: IdentOp,
+                }
+            }
+        }
+    )*};
+}
+
+range_source!(u32, u64, usize);
+
+/// Sub-slice source for `par_chunks(size)`: items are `&[T]` windows.
+/// Work-chunk boundaries are aligned to whole windows.
+pub struct ChunksSource<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> ParSource for ChunksSource<'a, T> {
+    type Item = &'a [T];
+    type Chunk = (&'a [T], usize);
+    type Iter = std::slice::Chunks<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn into_chunks(self, n: usize) -> Vec<Self::Chunk> {
+        let windows = self.len();
+        (0..n)
+            .map(|i| {
+                let lo = chunk_start(windows, n, i) * self.size;
+                let hi = (chunk_start(windows, n, i + 1) * self.size).min(self.slice.len());
+                (&self.slice[lo..hi], self.size)
+            })
+            .collect()
+    }
+
+    fn iter_chunk((slice, size): Self::Chunk) -> Self::Iter {
+        slice.chunks(size)
+    }
+}
+
+/// Mutable sub-slice source for `par_chunks_mut(size)`.
+pub struct ChunksMutSource<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParSource for ChunksMutSource<'a, T> {
+    type Item = &'a mut [T];
+    type Chunk = (&'a mut [T], usize);
+    type Iter = std::slice::ChunksMut<'a, T>;
+
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+
+    fn into_chunks(self, n: usize) -> Vec<Self::Chunk> {
+        let windows = self.len();
+        let total = self.slice.len();
+        let size = self.size;
+        let mut rest = self.slice;
+        let mut out = Vec::with_capacity(n);
+        let mut prev = 0;
+        for i in 1..=n {
+            let end = (chunk_start(windows, n, i) * size).min(total);
+            let (head, tail) = rest.split_at_mut(end - prev);
+            out.push((head, size));
+            rest = tail;
+            prev = end;
+        }
+        out
+    }
+
+    fn iter_chunk((slice, size): Self::Chunk) -> Self::Iter {
+        slice.chunks_mut(size)
+    }
+}
+
+// --------------------------------------------------------------------------
+// Ops: the per-item pipeline built by the adapters
+// --------------------------------------------------------------------------
+
+/// A fused per-item transformation: feed one input item, emit zero or more
+/// output items into `sink`. `Sync` because one op instance is shared by
+/// every worker.
+pub trait Op<In>: Sync {
+    /// Output item type.
+    type Out: Send;
+    /// Process one item.
+    fn feed(&self, item: In, sink: &mut dyn FnMut(Self::Out));
+}
+
+/// The identity op at the head of every pipeline.
+pub struct IdentOp;
+
+impl<T: Send> Op<T> for IdentOp {
+    type Out = T;
+
+    fn feed(&self, item: T, sink: &mut dyn FnMut(T)) {
+        sink(item);
+    }
+}
+
+/// `map` op.
+pub struct MapOp<Inner, F> {
+    inner: Inner,
+    f: F,
+}
+
+impl<In, Inner, F, R> Op<In> for MapOp<Inner, F>
+where
+    Inner: Op<In>,
+    F: Fn(Inner::Out) -> R + Sync,
+    R: Send,
+{
+    type Out = R;
+
+    fn feed(&self, item: In, sink: &mut dyn FnMut(R)) {
+        self.inner.feed(item, &mut |x| sink((self.f)(x)));
+    }
+}
+
+/// `filter` op.
+pub struct FilterOp<Inner, F> {
+    inner: Inner,
+    f: F,
+}
+
+impl<In, Inner, F> Op<In> for FilterOp<Inner, F>
+where
+    Inner: Op<In>,
+    F: Fn(&Inner::Out) -> bool + Sync,
+{
+    type Out = Inner::Out;
+
+    fn feed(&self, item: In, sink: &mut dyn FnMut(Self::Out)) {
+        self.inner.feed(item, &mut |x| {
+            if (self.f)(&x) {
+                sink(x);
+            }
+        });
+    }
+}
+
+/// `flat_map_iter` op (flat-map with a serial inner iterator).
+pub struct FlatMapIterOp<Inner, F> {
+    inner: Inner,
+    f: F,
+}
+
+impl<In, Inner, F, U> Op<In> for FlatMapIterOp<Inner, F>
+where
+    Inner: Op<In>,
+    F: Fn(Inner::Out) -> U + Sync,
+    U: IntoIterator,
+    U::Item: Send,
+{
+    type Out = U::Item;
+
+    fn feed(&self, item: In, sink: &mut dyn FnMut(Self::Out)) {
+        self.inner.feed(item, &mut |x| {
+            for y in (self.f)(x) {
+                sink(y);
+            }
+        });
+    }
+}
+
+// --------------------------------------------------------------------------
+// The parallel iterator pipeline
+// --------------------------------------------------------------------------
+
+/// A lazy parallel pipeline: a splittable [`ParSource`] plus a fused
+/// per-item [`Op`]. Execution happens in the consumer (`collect`,
+/// `for_each`, `count`), which fans the source's chunks out across the
+/// pool and reassembles per-chunk results in order.
+pub struct ParIter<S, O> {
+    source: S,
+    op: O,
+}
+
+impl<S: ParSource, O: Op<S::Item>> ParIter<S, O> {
+    /// Map each item through `f`.
+    pub fn map<R, F>(self, f: F) -> ParIter<S, MapOp<O, F>>
+    where
+        R: Send,
+        F: Fn(O::Out) -> R + Sync,
+    {
+        ParIter {
+            source: self.source,
+            op: MapOp { inner: self.op, f },
+        }
+    }
+
+    /// Keep only items for which `f` returns true.
+    pub fn filter<F>(self, f: F) -> ParIter<S, FilterOp<O, F>>
+    where
+        F: Fn(&O::Out) -> bool + Sync,
+    {
+        ParIter {
+            source: self.source,
+            op: FilterOp { inner: self.op, f },
+        }
+    }
+
+    /// rayon's `flat_map_iter`: flat-map where the produced iterator is
+    /// consumed serially within the worker.
+    pub fn flat_map_iter<U, F>(self, f: F) -> ParIter<S, FlatMapIterOp<O, F>>
     where
         U: IntoIterator,
-        F: FnMut(Self::Item) -> U,
+        U::Item: Send,
+        F: Fn(O::Out) -> U + Sync,
     {
-        self.flat_map(f)
+        ParIter {
+            source: self.source,
+            op: FlatMapIterOp { inner: self.op, f },
+        }
     }
 
-    /// rayon's work-splitting hint: a no-op sequentially.
-    fn with_min_len(self, _len: usize) -> Self {
+    /// rayon's work-splitting hint — a no-op here (chunking is fixed by
+    /// input length to keep results thread-count-independent).
+    pub fn with_min_len(self, _len: usize) -> Self {
         self
     }
 
-    /// rayon's work-splitting hint: a no-op sequentially.
-    fn with_max_len(self, _len: usize) -> Self {
+    /// rayon's work-splitting hint — a no-op here.
+    pub fn with_max_len(self, _len: usize) -> Self {
+        self
+    }
+
+    /// Apply `f` to every item (order of application is unspecified across
+    /// chunks, as with real rayon).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(O::Out) + Sync,
+    {
+        self.fold_chunks(|| (), |(), x| f(x));
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.fold_chunks(|| 0usize, |c, _| *c += 1).into_iter().sum()
+    }
+
+    /// Fan chunks out across the pool; fold each chunk's items into an
+    /// accumulator; return the accumulators in chunk (= input) order.
+    fn fold_chunks<A, FI, FS>(self, init: FI, step: FS) -> Vec<A>
+    where
+        A: Send,
+        FI: Fn() -> A + Sync,
+        FS: Fn(&mut A, O::Out) + Sync,
+    {
+        let ParIter { source, op } = self;
+        let n = chunk_count(source.len());
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunks = source.into_chunks(n);
+        let op = &op;
+        let init = &init;
+        let step = &step;
+        run_ordered(chunks, move |chunk| {
+            let mut acc = init();
+            for item in S::iter_chunk(chunk) {
+                op.feed(item, &mut |x| step(&mut acc, x));
+            }
+            acc
+        })
+    }
+}
+
+/// Consumer side of a parallel pipeline. `collect()` preserves input
+/// order exactly (chunk boundaries are length-deterministic and chunk
+/// results are concatenated in order), so it is bit-identical to the same
+/// pipeline run sequentially.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by the pipeline.
+    type Item: Send;
+
+    /// Execute, returning per-chunk output vectors in input order.
+    fn collect_vec_list(self) -> Vec<Vec<Self::Item>>;
+
+    /// Execute and collect into `C`, preserving input order.
+    fn collect<C: From<Vec<Self::Item>>>(self) -> C {
+        let lists = self.collect_vec_list();
+        let mut out = Vec::with_capacity(lists.iter().map(Vec::len).sum());
+        for mut list in lists {
+            out.append(&mut list);
+        }
+        C::from(out)
+    }
+}
+
+impl<S: ParSource, O: Op<S::Item>> ParallelIterator for ParIter<S, O> {
+    type Item = O::Out;
+
+    fn collect_vec_list(self) -> Vec<Vec<O::Out>> {
+        self.fold_chunks(Vec::new, |v, x| v.push(x))
+    }
+}
+
+// --------------------------------------------------------------------------
+// Entry-point traits (the prelude)
+// --------------------------------------------------------------------------
+
+/// `into_par_iter()` for owned collections (and the identity on an
+/// already-parallel pipeline, so adapters can be passed to `par_extend`).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Convert into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<VecSource<T>, IdentOp>;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter {
+            source: VecSource(self),
+            op: IdentOp,
+        }
+    }
+}
+
+impl<S: ParSource, O: Op<S::Item>> IntoParallelIterator for ParIter<S, O> {
+    type Item = O::Out;
+    type Iter = Self;
+
+    fn into_par_iter(self) -> Self {
         self
     }
 }
 
-impl<I: Iterator> ParallelIterator for I {}
-
-/// `into_par_iter()` for owned collections — sequential fallback.
-pub trait IntoParallelIterator: IntoIterator + Sized {
-    fn into_par_iter(self) -> Self::IntoIter {
-        self.into_iter()
-    }
-}
-
-impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
-
-/// `par_iter()` for `&collection` — sequential fallback.
+/// `par_iter()` for `&collection` (slices and anything that derefs to
+/// one, e.g. `Vec`).
 pub trait IntoParallelRefIterator<'a> {
-    type Iter;
+    /// Item type (`&'a T`).
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
 
+    /// Borrowing parallel iterator.
     fn par_iter(&'a self) -> Self::Iter;
 }
 
-impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
-where
-    &'a C: IntoIterator,
-{
-    type Iter = <&'a C as IntoIterator>::IntoIter;
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<SliceSource<'a, T>, IdentOp>;
 
     fn par_iter(&'a self) -> Self::Iter {
-        self.into_iter()
+        ParIter {
+            source: SliceSource(self),
+            op: IdentOp,
+        }
     }
 }
 
-/// `par_iter_mut()` for `&mut collection` — sequential fallback.
+/// `par_iter_mut()` for `&mut collection`.
 pub trait IntoParallelRefMutIterator<'a> {
-    type Iter;
+    /// Item type (`&'a mut T`).
+    type Item: Send;
+    /// The parallel iterator produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
 
+    /// Mutably borrowing parallel iterator.
     fn par_iter_mut(&'a mut self) -> Self::Iter;
 }
 
-impl<'a, C: 'a + ?Sized> IntoParallelRefMutIterator<'a> for C
-where
-    &'a mut C: IntoIterator,
-{
-    type Iter = <&'a mut C as IntoIterator>::IntoIter;
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = &'a mut T;
+    type Iter = ParIter<SliceMutSource<'a, T>, IdentOp>;
 
     fn par_iter_mut(&'a mut self) -> Self::Iter {
-        self.into_iter()
+        ParIter {
+            source: SliceMutSource(self),
+            op: IdentOp,
+        }
     }
 }
 
-/// `par_extend` for collections — sequential fallback.
-pub trait ParallelExtend<T> {
-    fn par_extend<I: IntoIterator<Item = T>>(&mut self, iter: I);
+/// `par_extend` for `Vec`: runs the pipeline on the pool, then appends the
+/// per-chunk results in order — same final contents as sequential
+/// `extend`.
+pub trait ParallelExtend<T: Send> {
+    /// Extend with the items of `par_iter`, preserving input order.
+    fn par_extend<I>(&mut self, par_iter: I)
+    where
+        I: IntoParallelIterator<Item = T>;
 }
 
-impl<T, C: Extend<T>> ParallelExtend<T> for C {
-    fn par_extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
-        self.extend(iter)
+impl<T: Send> ParallelExtend<T> for Vec<T> {
+    fn par_extend<I>(&mut self, par_iter: I)
+    where
+        I: IntoParallelIterator<Item = T>,
+    {
+        let lists = par_iter.into_par_iter().collect_vec_list();
+        self.reserve(lists.iter().map(Vec::len).sum());
+        for mut list in lists {
+            self.append(&mut list);
+        }
     }
 }
 
-/// Parallel slice sorts/chunking — sequential fallbacks.
-pub trait ParallelSliceMut<T> {
-    fn as_seq_slice_mut(&mut self) -> &mut [T];
+/// Read-only parallel slice chunking.
+pub trait ParallelSlice<T: Sync> {
+    /// View as a slice.
+    fn as_parallel_slice(&self) -> &[T];
 
+    /// Parallel iterator over `size`-element windows.
+    fn par_chunks(&self, size: usize) -> ParIter<ChunksSource<'_, T>, IdentOp> {
+        assert!(size > 0, "par_chunks: chunk size must be positive");
+        ParIter {
+            source: ChunksSource {
+                slice: self.as_parallel_slice(),
+                size,
+            },
+            op: IdentOp,
+        }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn as_parallel_slice(&self) -> &[T] {
+        self
+    }
+}
+
+/// Parallel sorts and mutable chunking for slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// View as a mutable slice.
+    fn as_parallel_slice_mut(&mut self) -> &mut [T];
+
+    /// Parallel iterator over mutable `size`-element windows.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMutSource<'_, T>, IdentOp> {
+        assert!(size > 0, "par_chunks_mut: chunk size must be positive");
+        ParIter {
+            source: ChunksMutSource {
+                slice: self.as_parallel_slice_mut(),
+                size,
+            },
+            op: IdentOp,
+        }
+    }
+
+    /// Parallel stable sort.
     fn par_sort(&mut self)
     where
         T: Ord,
     {
-        self.as_seq_slice_mut().sort();
+        par_merge_sort(self.as_parallel_slice_mut(), &T::cmp, true);
     }
 
+    /// Parallel stable sort with a comparator.
+    fn par_sort_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        par_merge_sort(self.as_parallel_slice_mut(), &compare, true);
+    }
+
+    /// Parallel stable sort by key.
+    fn par_sort_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        par_merge_sort(self.as_parallel_slice_mut(), &|a: &T, b: &T| f(a).cmp(&f(b)), true);
+    }
+
+    /// Parallel unstable sort. (The merge phase is stable and run
+    /// boundaries are length-deterministic, so — unlike real rayon — the
+    /// result is identical across thread counts even for keys that
+    /// compare equal.)
     fn par_sort_unstable(&mut self)
     where
         T: Ord,
     {
-        self.as_seq_slice_mut().sort_unstable();
+        par_merge_sort(self.as_parallel_slice_mut(), &T::cmp, false);
     }
 
-    fn par_sort_unstable_by_key<K: Ord, F: FnMut(&T) -> K>(&mut self, f: F) {
-        self.as_seq_slice_mut().sort_unstable_by_key(f);
+    /// Parallel unstable sort with a comparator.
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        par_merge_sort(self.as_parallel_slice_mut(), &compare, false);
     }
 
-    fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
-        self.as_seq_slice_mut().chunks_mut(size)
+    /// Parallel unstable sort by key.
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        par_merge_sort(self.as_parallel_slice_mut(), &|a: &T, b: &T| f(a).cmp(&f(b)), false);
     }
 }
 
-impl<T> ParallelSliceMut<T> for [T] {
-    fn as_seq_slice_mut(&mut self) -> &mut [T] {
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn as_parallel_slice_mut(&mut self) -> &mut [T] {
         self
     }
 }
 
-/// Read-only parallel slice chunking — sequential fallback.
-pub trait ParallelSlice<T> {
-    fn as_seq_slice(&self) -> &[T];
+// --------------------------------------------------------------------------
+// join
+// --------------------------------------------------------------------------
 
-    fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
-        self.as_seq_slice().chunks(size)
-    }
-}
-
-impl<T> ParallelSlice<T> for [T] {
-    fn as_seq_slice(&self) -> &[T] {
-        self
-    }
-}
-
-/// Run two closures "in parallel" (sequentially here) and return both
-/// results.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+/// Run two closures, potentially in parallel, and return both results.
+/// With a one-thread pool this degrades to sequential `(a(), b())`.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    if current_num_threads() <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let handle_b = s.spawn(oper_b);
+        let ra = oper_a();
+        let rb = match handle_b.join() {
+            Ok(rb) => rb,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
 }
 
-/// Number of worker threads: 1 in the sequential stand-in.
-pub fn current_num_threads() -> usize {
-    1
+// --------------------------------------------------------------------------
+// Parallel merge sort
+// --------------------------------------------------------------------------
+
+/// Length of the initial sorted runs for a slice of `len` elements: a
+/// function of the length alone, so run boundaries — and therefore the
+/// placement of equal keys — never depend on the thread count.
+fn initial_run_len(len: usize) -> usize {
+    /// Below this, threading overhead beats the sort itself.
+    const MIN_RUN: usize = 4096;
+    len.div_ceil(MAX_CHUNKS).max(MIN_RUN)
 }
+
+/// Deterministic parallel merge sort: sort fixed-boundary runs
+/// concurrently, then merge adjacent runs pairwise (concurrently per
+/// level) with a stable merge.
+fn par_merge_sort<T, C>(v: &mut [T], compare: &C, stable: bool)
+where
+    T: Send,
+    C: Fn(&T, &T) -> Ordering + Sync,
+{
+    let len = v.len();
+    let run = initial_run_len(len);
+    // ZSTs have nothing to merge byte-wise; all orders are equal anyway.
+    if len <= run || std::mem::size_of::<T>() == 0 {
+        if stable {
+            v.sort_by(|a, b| compare(a, b));
+        } else {
+            v.sort_unstable_by(|a, b| compare(a, b));
+        }
+        return;
+    }
+    let runs: Vec<&mut [T]> = v.chunks_mut(run).collect();
+    run_ordered(runs, |chunk: &mut [T]| {
+        if stable {
+            chunk.sort_by(|a, b| compare(a, b));
+        } else {
+            chunk.sort_unstable_by(|a, b| compare(a, b));
+        }
+    });
+    // Take-left-on-ties keeps the merge stable.
+    let take_left = |a: &T, b: &T| compare(a, b) != Ordering::Greater;
+    let mut width = run;
+    while width < len {
+        let pairs: Vec<&mut [T]> = v
+            .chunks_mut(2 * width)
+            .filter(|c| c.len() > width)
+            .collect();
+        run_ordered(pairs, |pair: &mut [T]| merge_halves(pair, width, &take_left));
+        width *= 2;
+    }
+}
+
+/// Merge the sorted halves `v[..mid]` and `v[mid..]` in place, buffering
+/// the left half. `take_left(a, b)` must be "a goes first" (true on ties
+/// for stability).
+///
+/// Panic safety: elements live either in the buffer region or in `v`,
+/// never in both; if `take_left` unwinds, [`MergeHole`]'s drop copies the
+/// not-yet-merged buffered elements back into the remaining gap, so every
+/// element is dropped exactly once.
+fn merge_halves<T, F>(v: &mut [T], mid: usize, take_left: &F)
+where
+    F: Fn(&T, &T) -> bool,
+{
+    use std::ptr;
+
+    let len = v.len();
+    debug_assert!(mid > 0 && mid < len);
+    let base = v.as_mut_ptr();
+    // Raw storage for the left half; `buf.len()` stays 0, so dropping it
+    // frees capacity without dropping elements.
+    let mut buf: Vec<T> = Vec::with_capacity(mid);
+    unsafe {
+        ptr::copy_nonoverlapping(base, buf.as_mut_ptr(), mid);
+        let mut hole = MergeHole {
+            start: buf.as_mut_ptr(),
+            end: buf.as_mut_ptr().add(mid),
+            dest: base,
+        };
+        let mut right = base.add(mid);
+        let right_end = base.add(len);
+        while hole.start < hole.end && right < right_end {
+            if take_left(&*hole.start, &*right) {
+                ptr::copy_nonoverlapping(hole.start, hole.dest, 1);
+                hole.start = hole.start.add(1);
+            } else {
+                ptr::copy_nonoverlapping(right, hole.dest, 1);
+                right = right.add(1);
+            }
+            hole.dest = hole.dest.add(1);
+        }
+        // `hole` drops here, copying any remaining buffered (left-run)
+        // elements into the tail gap — which is also the normal-exit path
+        // when the right run empties first.
+    }
+}
+
+/// The un-merged remainder of the buffered left run; see [`merge_halves`].
+struct MergeHole<T> {
+    start: *mut T,
+    end: *mut T,
+    dest: *mut T,
+}
+
+impl<T> Drop for MergeHole<T> {
+    fn drop(&mut self) {
+        unsafe {
+            let n = self.end.offset_from(self.start) as usize;
+            std::ptr::copy_nonoverlapping(self.start, self.dest, n);
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
 
 pub mod prelude {
+    //! The traits a `use rayon::prelude::*` call site expects.
     pub use crate::{
         IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
         ParallelExtend, ParallelIterator, ParallelSlice, ParallelSliceMut,
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    /// All thread counts the determinism tests compare.
+    const COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+    /// Serializes the tests that read or write `RAYON_NUM_THREADS`
+    /// without an override: libtest runs tests on parallel threads of
+    /// one process, and the env var is process-global.
+    fn env_lock() -> &'static Mutex<()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        &LOCK
+    }
+
+    #[test]
+    fn collect_preserves_order_across_thread_counts() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let expect: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        for n in COUNTS {
+            let got: Vec<u64> = with_num_threads(n, || {
+                input.par_iter().map(|&x| x * 3 + 1).collect()
+            });
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn into_par_iter_flat_map_filter_matches_sequential() {
+        let input: Vec<u64> = (0..5_000).collect();
+        let expect: Vec<u64> = input
+            .iter()
+            .flat_map(|&x| [x, x + 1_000_000])
+            .filter(|&x| x % 3 != 0)
+            .collect();
+        for n in COUNTS {
+            let got: Vec<u64> = with_num_threads(n, || {
+                input
+                    .clone()
+                    .into_par_iter()
+                    .flat_map_iter(|x| [x, x + 1_000_000])
+                    .filter(|&x| x % 3 != 0)
+                    .collect()
+            });
+            assert_eq!(got, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn range_into_par_iter_matches_sequential() {
+        let expect: Vec<u64> = (10u64..50_010).map(|x| x * x).collect();
+        for n in COUNTS {
+            let got: Vec<u64> = with_num_threads(n, || {
+                (10u64..50_010).into_par_iter().map(|x| x * x).collect()
+            });
+            assert_eq!(got, expect, "n={n}");
+        }
+        let empty: Vec<u32> = (5u32..5).into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<u32> = Vec::new();
+        let got: Vec<u32> = v.par_iter().map(|&x| x).collect();
+        assert!(got.is_empty());
+        let mut out: Vec<u32> = Vec::new();
+        out.par_extend(Vec::<u32>::new().into_par_iter());
+        assert!(out.is_empty());
+        let mut empty: [u64; 0] = [];
+        empty.par_sort_unstable();
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element() {
+        let mut v: Vec<u64> = (0..20_000).collect();
+        with_num_threads(4, || {
+            v.par_iter_mut().for_each(|x| *x *= 2);
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == 2 * i as u64));
+    }
+
+    #[test]
+    fn count_and_for_each() {
+        let v: Vec<u32> = (0..1_000).collect();
+        let c = with_num_threads(4, || v.par_iter().filter(|&&x| x % 2 == 0).count());
+        assert_eq!(c, 500);
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        v.par_iter()
+            .for_each(|&x| {
+                sum.fetch_add(x as u64, std::sync::atomic::Ordering::Relaxed);
+            });
+        assert_eq!(sum.into_inner(), 999 * 1000 / 2);
+    }
+
+    /// A keyed LCG vector with many duplicate keys — the adversarial case
+    /// for cross-thread-count sort determinism.
+    fn keyed_input(len: usize) -> Vec<(u32, u32)> {
+        let mut state = 0x1234_5678_u64;
+        (0..len as u32)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (((state >> 33) % 97) as u32, i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn par_sort_unstable_matches_std_and_is_thread_count_invariant() {
+        let input: Vec<u64> = keyed_input(100_000)
+            .into_iter()
+            .map(|(k, i)| ((k as u64) << 32) | i as u64)
+            .collect();
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        let mut reference: Option<Vec<u64>> = None;
+        for n in COUNTS {
+            let mut v = input.clone();
+            with_num_threads(n, || v.par_sort_unstable());
+            assert_eq!(v, expect, "n={n}");
+            if let Some(r) = &reference {
+                assert_eq!(&v, r, "thread-count dependent sort at n={n}");
+            } else {
+                reference = Some(v);
+            }
+        }
+    }
+
+    #[test]
+    fn par_sort_by_key_is_stable_and_thread_count_invariant() {
+        // Keys repeat heavily; payload (insertion index) must stay in
+        // order within each key group, identically for every thread count.
+        let input = keyed_input(50_000);
+        let mut expect = input.clone();
+        expect.sort_by_key(|&(k, _)| k);
+        for n in COUNTS {
+            let mut v = input.clone();
+            with_num_threads(n, || v.par_sort_by_key(|&(k, _)| k));
+            assert_eq!(v, expect, "stable sort diverged at n={n}");
+        }
+    }
+
+    #[test]
+    fn par_sort_unstable_by_key_sorts() {
+        let mut v = keyed_input(30_000);
+        let reference = {
+            let mut r = v.clone();
+            with_num_threads(1, || r.par_sort_unstable_by_key(|&(k, _)| k));
+            r
+        };
+        with_num_threads(8, || v.par_sort_unstable_by_key(|&(k, _)| k));
+        assert!(v.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_eq!(v, reference);
+    }
+
+    #[test]
+    fn par_extend_appends_in_order() {
+        let mut out: Vec<u64> = vec![7, 8];
+        let src: Vec<u64> = (0..10_000).collect();
+        with_num_threads(4, || {
+            out.par_extend(src.par_iter().map(|&x| x + 1));
+        });
+        assert_eq!(out.len(), 10_002);
+        assert_eq!(&out[..2], &[7, 8]);
+        assert!(out[2..].iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    #[test]
+    fn par_chunks_sees_aligned_windows() {
+        let v: Vec<u32> = (0..1000).collect();
+        let sums: Vec<u64> = with_num_threads(4, || {
+            v.par_chunks(64)
+                .map(|c| c.iter().map(|&x| x as u64).sum())
+                .collect()
+        });
+        let expect: Vec<u64> = v
+            .chunks(64)
+            .map(|c| c.iter().map(|&x| x as u64).sum())
+            .collect();
+        assert_eq!(sums, expect);
+    }
+
+    #[test]
+    fn par_chunks_mut_mutates_in_place() {
+        let mut v = vec![1u32; 999];
+        with_num_threads(4, || {
+            v.par_chunks_mut(100)
+                .for_each(|c| {
+                    for x in c {
+                        *x += 1;
+                    }
+                });
+        });
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+        // Nested joins must not deadlock (scoped threads, no fixed pool).
+        let (x, (y, z)) = join(|| 1, || join(|| 2, || 3));
+        assert_eq!((x, y, z), (1, 2, 3));
+    }
+
+    #[test]
+    fn with_num_threads_scopes_and_restores() {
+        // Both unoverridden reads must see the same environment.
+        let _env = env_lock().lock().unwrap();
+        let outside = current_num_threads();
+        let inside = with_num_threads(3, current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), outside);
+        // Nested overrides: innermost wins, each restored on exit.
+        with_num_threads(2, || {
+            assert_eq!(current_num_threads(), 2);
+            with_num_threads(5, || assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn threads_actually_run_in_parallel() {
+        // With 4 workers and 4 long-ish chunks, at least two distinct
+        // worker threads must be observed.
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids: Mutex<HashSet<std::thread::ThreadId>> = Mutex::new(HashSet::new());
+        with_num_threads(4, || {
+            vec![0u64; 4].into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            });
+        });
+        assert!(
+            ids.into_inner().unwrap().len() >= 2,
+            "all chunks ran on one thread"
+        );
+    }
+
+    #[test]
+    fn env_var_sets_default_pool_size() {
+        // Serialized with the other unoverridden-read test, and the
+        // prior value is restored so a CI-set RAYON_NUM_THREADS survives
+        // this test binary. (Every other test uses the thread-local
+        // override, which takes precedence over this process-global
+        // write.)
+        let _env = env_lock().lock().unwrap();
+        let prev = std::env::var("RAYON_NUM_THREADS").ok();
+        std::env::set_var("RAYON_NUM_THREADS", "7");
+        assert_eq!(current_num_threads(), 7);
+        assert_eq!(with_num_threads(2, current_num_threads), 2);
+        match prev {
+            Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+            None => std::env::remove_var("RAYON_NUM_THREADS"),
+        }
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            with_num_threads(4, || {
+                let v: Vec<u32> = (0..1000).collect();
+                let _: Vec<u32> = v
+                    .par_iter()
+                    .map(|&x| {
+                        if x == 777 {
+                            panic!("boom");
+                        }
+                        x
+                    })
+                    .collect();
+            })
+        });
+        assert!(r.is_err(), "worker panic was swallowed");
+    }
 }
