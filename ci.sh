@@ -24,17 +24,37 @@ cargo build --benches
 echo "==> quickstart example runs"
 cargo run --release --example quickstart >/dev/null
 
-echo "==> all figure/table binaries run (small scale)"
-CXLG_SCALE=10 cargo run --release -p cxlg-bench --bin all_figures >/dev/null
+echo "==> cxlg lists the full experiment registry"
+LISTED=$(cargo run --release -p cxlg-bench --bin cxlg -- list | grep -c '^[a-z]')
+[ "$LISTED" -ge 17 ] || { echo "cxlg list shows only $LISTED experiments"; exit 1; }
 
-echo "==> figure JSON is byte-identical across thread counts"
-# One full figure binary (generators + CSR build + parallel sweep) at two
-# pool sizes; any divergence in the dumped JSON is a determinism bug.
+echo "==> full campaign via cxlg run --all at 1- and 4-thread pools (small scale)"
+rm -rf target/ci-results-t1 target/ci-results-t4
 CXLG_SCALE=10 RAYON_NUM_THREADS=1 CXLG_RESULTS_DIR=target/ci-results-t1 \
-    cargo run --release -p cxlg-bench --bin fig3 >/dev/null
+    cargo run --release -p cxlg-bench --bin cxlg -- run --all --json-manifest >/dev/null
 CXLG_SCALE=10 RAYON_NUM_THREADS=4 CXLG_RESULTS_DIR=target/ci-results-t4 \
-    cargo run --release -p cxlg-bench --bin fig3 >/dev/null
-cmp target/ci-results-t1/fig3.json target/ci-results-t4/fig3.json \
-    || { echo "fig3.json differs between RAYON_NUM_THREADS=1 and 4"; exit 1; }
+    cargo run --release -p cxlg-bench --bin cxlg -- run --all --json-manifest >/dev/null
+
+echo "==> result JSON is byte-identical across thread counts (all experiments)"
+# Every result file must match between pool sizes except the "threads"
+# header line (which records the pool by design). The manifest is
+# telemetry (wall-clock), not a result, so it is excluded.
+CHECKED=0
+for f in target/ci-results-t1/*.json; do
+    b="$(basename "$f")"
+    [ "$b" = manifest.json ] && continue
+    cmp <(sed '/"threads"/d' "$f") <(sed '/"threads"/d' "target/ci-results-t4/$b") \
+        || { echo "$b differs between RAYON_NUM_THREADS=1 and 4"; exit 1; }
+    CHECKED=$((CHECKED + 1))
+done
+[ "$CHECKED" -ge 16 ] || { echo "only $CHECKED result files diffed; campaign incomplete"; exit 1; }
+echo "    $CHECKED result files byte-identical"
+
+echo "==> manifest proves each dataset was built exactly once"
+grep -Eq '"builds": 1$|"builds": 1,' target/ci-results-t1/manifest.json \
+    || { echo "manifest lacks per-spec build counts"; exit 1; }
+if grep -E '"builds": ([2-9]|[0-9]{2,})' target/ci-results-t1/manifest.json; then
+    echo "a dataset was built more than once per campaign"; exit 1
+fi
 
 echo "CI OK"

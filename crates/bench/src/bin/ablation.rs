@@ -1,97 +1,9 @@
-//! Ablation tables for the design choices DESIGN.md calls out: warp
-//! count (§3.5.2), bridge ordering (Appendix A), BaM cache capacity, and
-//! CXL device count (§4.2.2). Printed as simulated-runtime tables; the
-//! criterion `ablation` bench measures the same points as wall-clock
-//! benchmarks.
-
-use cxlg_bench::{banner, bench_scale, bench_seed, dump_json};
-use cxlg_core::runner::sweep;
-use cxlg_core::system::{AccessConfig, BackendConfig, SystemConfig};
-use cxlg_core::traversal::Traversal;
-use cxlg_graph::spec::GraphSpec;
-use cxlg_link::pcie::PcieGen;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Entry {
-    study: &'static str,
-    point: String,
-    runtime_ms: f64,
-}
+//! Legacy shim: the `ablation` experiment now lives in
+//! `cxlg_bench::experiments::ablation` and is registered with the `cxlg`
+//! driver (`cxlg run ablation`). This binary is kept so existing scripts and
+//! EXPERIMENTS.md commands keep working; stdout and the result JSON are
+//! identical to the driver's.
 
 fn main() {
-    banner("Ablations", "Design-choice sensitivity studies");
-    let g = GraphSpec::urand(bench_scale()).seed(bench_seed()).build();
-    let bfs = Traversal::bfs(0);
-    let mut entries: Vec<Entry> = Vec::new();
-
-    // 1. Warp count (§3.5.2: concurrency >= Nmax suffices).
-    let warp_points: Vec<u32> = vec![64, 128, 256, 512, 768, 1024, 2048, 3072];
-    let warp_runs = sweep(warp_points.clone(), |w| {
-        let sys = SystemConfig::emogi_on_dram(PcieGen::Gen4).with_active_warps(w);
-        bfs.run(&g, &sys).metrics.runtime.as_secs_f64() * 1e3
-    });
-    println!("\nWarp count (EMOGI/DRAM, Gen4; Nmax = 768):");
-    for (w, ms) in warp_points.iter().zip(&warp_runs) {
-        println!("  {w:>5} warps: {ms:>8.3} ms");
-        entries.push(Entry {
-            study: "warps",
-            point: w.to_string(),
-            runtime_ms: *ms,
-        });
-    }
-
-    // 2. Bridge ordering (Appendix A).
-    println!("\nLatency-bridge ordering (CXL +2 us, Gen3):");
-    for (label, ooo) in [("in-order", false), ("out-of-order", true)] {
-        let mut sys = SystemConfig::emogi_on_cxl(PcieGen::Gen3, 5).with_added_latency_us(2.0);
-        if ooo {
-            if let BackendConfig::CxlMem { dev, .. } = &mut sys.backend {
-                *dev = dev.out_of_order();
-            }
-        }
-        let ms = bfs.run(&g, &sys).metrics.runtime.as_secs_f64() * 1e3;
-        println!("  {label:<14} {ms:>8.3} ms");
-        entries.push(Entry {
-            study: "bridge",
-            point: label.to_string(),
-            runtime_ms: ms,
-        });
-    }
-
-    // 3. BaM cache capacity (fraction of the edge list).
-    println!("\nBaM software-cache capacity (NVMe, 4 kB lines):");
-    let edge_bytes = g.num_edges() * 8;
-    for denom in [32u64, 16, 8, 4, 2, 1] {
-        let mut sys = SystemConfig::bam_on_nvme(PcieGen::Gen4, 4);
-        if let AccessConfig::SoftwareCache { capacity_bytes, .. } = &mut sys.access {
-            *capacity_bytes = Some((edge_bytes / denom).max(4096 * 64));
-        }
-        let r = bfs.run(&g, &sys);
-        let ms = r.metrics.runtime.as_secs_f64() * 1e3;
-        println!(
-            "  edge/{denom:<3} cache: {ms:>8.3} ms (RAF {:.2})",
-            r.metrics.raf()
-        );
-        entries.push(Entry {
-            study: "bam-cache",
-            point: format!("edge/{denom}"),
-            runtime_ms: ms,
-        });
-    }
-
-    // 4. CXL device count (§4.2.2: five devices so tags exceed Nmax).
-    println!("\nCXL device count (Gen3, +0 latency):");
-    for devices in [1u32, 2, 3, 4, 5, 8] {
-        let sys = SystemConfig::emogi_on_cxl(PcieGen::Gen3, devices);
-        let ms = bfs.run(&g, &sys).metrics.runtime.as_secs_f64() * 1e3;
-        println!("  {devices:>2} device(s): {ms:>8.3} ms");
-        entries.push(Entry {
-            study: "cxl-devices",
-            point: devices.to_string(),
-            runtime_ms: ms,
-        });
-    }
-
-    dump_json("ablation", &entries);
+    cxlg_bench::cli::shim_main("ablation");
 }

@@ -1,30 +1,9 @@
-//! Regenerate every table and figure in sequence. Equivalent to running
-//! the individual binaries; results land in `target/paper-results/`.
-
-use std::process::Command;
+//! Legacy shim: regenerate every table and figure. This is `cxlg run
+//! --all --json-manifest` under the hood — one process, one shared
+//! graph cache (each dataset is built exactly once per invocation, not
+//! once per figure), with per-experiment wall-clock recorded in
+//! `manifest.json` next to the results.
 
 fn main() {
-    let bins = [
-        "table1", "table2", "fig3", "fig4", "fig5", "fig6", "fig9", "fig10", "fig11", "eqcheck",
-        // Extension experiments (DESIGN.md §8).
-        "uvm_compare", "reorder_study", "write_study", "ablation",
-    ];
-    let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
-    let mut failures = Vec::new();
-    for bin in bins {
-        println!("\n################ {bin} ################\n");
-        let status = Command::new(dir.join(bin))
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
-        if !status.success() {
-            failures.push(bin);
-        }
-    }
-    if failures.is_empty() {
-        println!("\nAll experiments regenerated. JSON in target/paper-results/.");
-    } else {
-        eprintln!("\nFAILED: {failures:?}");
-        std::process::exit(1);
-    }
+    cxlg_bench::cli::run_all();
 }

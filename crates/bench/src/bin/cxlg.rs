@@ -1,0 +1,9 @@
+//! `cxlg` — the campaign driver: `list` enumerates the experiment
+//! registry, `run <names...>` / `run --all` executes experiments against
+//! one shared context and graph cache, and `--json-manifest` records the
+//! run configuration, per-experiment wall-clock, result paths, and
+//! per-spec graph build counts. See `cxlg help`.
+
+fn main() {
+    cxlg_bench::cli::cxlg_main();
+}

@@ -1,42 +1,9 @@
-//! Figure 10: throughput and outstanding-read count of one CXL memory
-//! prototype under CPU-issued 64 B random reads, for varying additional
-//! latency (§4.2.2).
-
-use cxlg_bench::{banner, dump_json};
-use cxlg_core::microbench::{cxl_cpu_random_read, CxlReadResult};
-use cxlg_core::runner::sweep;
-use cxlg_device::cxl_mem::CxlMemConfig;
+//! Legacy shim: the `fig10` experiment now lives in
+//! `cxlg_bench::experiments::fig10` and is registered with the `cxlg`
+//! driver (`cxlg run fig10`). This binary is kept so existing scripts and
+//! EXPERIMENTS.md commands keep working; stdout and the result JSON are
+//! identical to the driver's.
 
 fn main() {
-    banner(
-        "Figure 10",
-        "CXL prototype bandwidth & outstanding reads vs additional latency",
-    );
-    let added: Vec<f64> = (0..=10).map(|i| i as f64).collect();
-    let results: Vec<CxlReadResult> = sweep(added, |us| {
-        cxl_cpu_random_read(
-            CxlMemConfig::default().with_added_latency_us(us),
-            1 << 30,
-            60_000,
-            512,
-            7,
-        )
-    });
-
-    println!(
-        "{:>12} {:>16} {:>16} {:>14}",
-        "Added [us]", "Thruput [MB/s]", "Latency [us]", "Outstanding"
-    );
-    for r in &results {
-        println!(
-            "{:>12.0} {:>16.0} {:>16.2} {:>14.1}",
-            r.added_latency_us, r.throughput_mb_per_sec, r.latency_us, r.outstanding
-        );
-    }
-    println!();
-    println!(
-        "Paper: capped at ~5,700 MB/s by the single DRAM channel, decaying \
-         once the 128 device tags bind; outstanding saturates at 128."
-    );
-    dump_json("fig10", &results);
+    cxlg_bench::cli::shim_main("fig10");
 }

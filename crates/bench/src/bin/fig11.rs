@@ -1,88 +1,9 @@
-//! Figure 11: BFS and SSSP runtimes on CXL memory with varying added
-//! latency, normalized per-dataset by the host-DRAM runtime — the paper's
-//! headline result (Observation 2): identical performance while the CXL
-//! latency stays under ~2 µs on Gen3.
-
-use cxlg_bench::{banner, dump_json, good_source, paper_datasets};
-use cxlg_core::runner::sweep;
-use cxlg_core::system::SystemConfig;
-use cxlg_core::traversal::Traversal;
-use cxlg_link::pcie::PcieGen;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Point {
-    workload: &'static str,
-    dataset: String,
-    added_latency_us: f64,
-    normalized_runtime: f64,
-}
+//! Legacy shim: the `fig11` experiment now lives in
+//! `cxlg_bench::experiments::fig11` and is registered with the `cxlg`
+//! driver (`cxlg run fig11`). This binary is kept so existing scripts and
+//! EXPERIMENTS.md commands keep working; stdout and the result JSON are
+//! identical to the driver's.
 
 fn main() {
-    banner(
-        "Figure 11",
-        "BFS/SSSP on CXL memory vs latency, normalized by host DRAM (Gen3 x16, 5 devices)",
-    );
-    let datasets = paper_datasets();
-    let added = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0];
-
-    let jobs: Vec<(usize, &'static str, f64)> = (0..3)
-        .flat_map(|i| {
-            ["BFS", "SSSP"]
-                .into_iter()
-                .flat_map(move |w| added.into_iter().map(move |a| (i, w, a)))
-        })
-        .collect();
-
-    let points: Vec<Point> = sweep(jobs, |(i, workload, add)| {
-        let spec = datasets[i];
-        let g = spec.build();
-        let src = good_source(&g);
-        let trav = match workload {
-            "BFS" => Traversal::bfs(src),
-            _ => Traversal::sssp(src),
-        };
-        let dram = trav.run(&g, &SystemConfig::emogi_on_dram(PcieGen::Gen3));
-        let cxl = trav.run(
-            &g,
-            &SystemConfig::emogi_on_cxl(PcieGen::Gen3, 5).with_added_latency_us(add),
-        );
-        Point {
-            workload,
-            dataset: spec.name(),
-            added_latency_us: add,
-            normalized_runtime: cxl.metrics.runtime.as_secs_f64()
-                / dram.metrics.runtime.as_secs_f64(),
-        }
-    });
-
-    for workload in ["BFS", "SSSP"] {
-        println!("\n{workload}");
-        print!("{:<16}", "added [us]:");
-        for a in added {
-            print!("{a:>8.1}");
-        }
-        println!();
-        for spec in &datasets {
-            print!("{:<16}", spec.name());
-            for a in added {
-                let p = points
-                    .iter()
-                    .find(|p| {
-                        p.workload == workload
-                            && p.dataset == spec.name()
-                            && p.added_latency_us == a
-                    })
-                    .unwrap();
-                print!("{:>8.2}", p.normalized_runtime);
-            }
-            println!();
-        }
-    }
-    println!();
-    println!(
-        "Paper: normalized runtime ~1.0 while CXL latency stays under \
-         ~1.91 us (the Gen3 allowance), rising beyond it."
-    );
-    dump_json("fig11", &points);
+    cxlg_bench::cli::shim_main("fig11");
 }

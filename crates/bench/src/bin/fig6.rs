@@ -1,68 +1,9 @@
-//! Figure 6: BFS and SSSP runtimes on XLFDD (16 B alignment) and BaM
-//! (4 kB) across the three datasets, normalized by EMOGI on host DRAM
-//! (§4.1.2).
-
-use cxlg_bench::{banner, dump_json, good_source, paper_datasets};
-use cxlg_core::runner::{geometric_mean, sweep};
-use cxlg_core::system::SystemConfig;
-use cxlg_core::traversal::Traversal;
-use cxlg_link::pcie::PcieGen;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Cell {
-    workload: &'static str,
-    dataset: String,
-    xlfdd_normalized: f64,
-    bam_normalized: f64,
-}
+//! Legacy shim: the `fig6` experiment now lives in
+//! `cxlg_bench::experiments::fig6` and is registered with the `cxlg`
+//! driver (`cxlg run fig6`). This binary is kept so existing scripts and
+//! EXPERIMENTS.md commands keep working; stdout and the result JSON are
+//! identical to the driver's.
 
 fn main() {
-    banner(
-        "Figure 6",
-        "XLFDD and BaM runtimes normalized by EMOGI (BFS & SSSP × 3 datasets)",
-    );
-    let datasets = paper_datasets();
-    let jobs: Vec<(usize, &'static str)> = (0..3)
-        .flat_map(|i| [(i, "BFS"), (i, "SSSP")])
-        .collect();
-
-    let cells: Vec<Cell> = sweep(jobs, |(i, workload)| {
-        let spec = datasets[i];
-        let g = spec.build();
-        let src = good_source(&g);
-        let trav = match workload {
-            "BFS" => Traversal::bfs(src),
-            _ => Traversal::sssp(src),
-        };
-        let emogi = trav.run(&g, &SystemConfig::emogi_on_dram(PcieGen::Gen4));
-        let base = emogi.metrics.runtime.as_secs_f64();
-        let xl = trav.run(&g, &SystemConfig::xlfdd(PcieGen::Gen4, 16));
-        let bam = trav.run(&g, &SystemConfig::bam_on_nvme(PcieGen::Gen4, 4));
-        Cell {
-            workload,
-            dataset: spec.name(),
-            xlfdd_normalized: xl.metrics.runtime.as_secs_f64() / base,
-            bam_normalized: bam.metrics.runtime.as_secs_f64() / base,
-        }
-    });
-
-    println!(
-        "{:<6} {:<16} {:>10} {:>10}",
-        "Algo", "Dataset", "XLFDD", "BaM"
-    );
-    for c in &cells {
-        println!(
-            "{:<6} {:<16} {:>10.2} {:>10.2}",
-            c.workload, c.dataset, c.xlfdd_normalized, c.bam_normalized
-        );
-    }
-    let xl_geo = geometric_mean(&cells.iter().map(|c| c.xlfdd_normalized).collect::<Vec<_>>());
-    let bam_geo = geometric_mean(&cells.iter().map(|c| c.bam_normalized).collect::<Vec<_>>());
-    println!();
-    println!(
-        "Geometric means over the six pairs: XLFDD {xl_geo:.2}x, BaM {bam_geo:.2}x \
-         (paper: 1.13x and 2.76x)"
-    );
-    dump_json("fig6", &cells);
+    cxlg_bench::cli::shim_main("fig6");
 }

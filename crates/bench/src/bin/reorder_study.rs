@@ -1,69 +1,9 @@
-//! Extension experiment: the Discussion section's "tailored graph
-//! formats and preprocessing" — how vertex relabeling changes
-//! read-amplification and runtime at a large alignment.
-
-use cxlg_bench::{banner, bench_seed, dump_json, good_source, paper_datasets};
-use cxlg_core::raf::{default_capacity, raf_for_trace};
-use cxlg_core::system::SystemConfig;
-use cxlg_core::traversal::{bfs_trace, Traversal};
-use cxlg_graph::reorder;
-use cxlg_link::pcie::PcieGen;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    dataset: String,
-    ordering: &'static str,
-    raf_4k: f64,
-    bam_ms: f64,
-}
+//! Legacy shim: the `reorder_study` experiment now lives in
+//! `cxlg_bench::experiments::reorder_study` and is registered with the `cxlg`
+//! driver (`cxlg run reorder_study`). This binary is kept so existing scripts and
+//! EXPERIMENTS.md commands keep working; stdout and the result JSON are
+//! identical to the driver's.
 
 fn main() {
-    banner(
-        "Reorder study (extension)",
-        "Vertex relabeling vs RAF and BaM runtime at 4 kB lines",
-    );
-    let mut rows = Vec::new();
-    for spec in [paper_datasets()[0], paper_datasets()[1]] {
-        let base = spec.build();
-        let variants: Vec<(&'static str, cxlg_graph::Csr)> = vec![
-            ("native", base.clone()),
-            ("degree-sorted", reorder::by_degree(&base)),
-            ("bfs-order", reorder::by_bfs(&base, good_source(&base))),
-            ("random", reorder::random(&base, bench_seed())),
-        ];
-        for (ordering, g) in variants {
-            let src = good_source(&g);
-            let trace = bfs_trace(&g, src);
-            let raf = raf_for_trace(&g, &trace, 4096, default_capacity(&g, 4096)).raf;
-            let bam = Traversal::bfs(src)
-                .run(&g, &SystemConfig::bam_on_nvme(PcieGen::Gen4, 4))
-                .metrics
-                .runtime
-                .as_secs_f64()
-                * 1e3;
-            rows.push(Row {
-                dataset: spec.name(),
-                ordering,
-                raf_4k: raf,
-                bam_ms: bam,
-            });
-        }
-    }
-    println!(
-        "{:<16} {:<14} {:>10} {:>12}",
-        "Dataset", "Ordering", "RAF@4kB", "BaM [ms]"
-    );
-    for r in &rows {
-        println!(
-            "{:<16} {:<14} {:>10.2} {:>12.3}",
-            r.dataset, r.ordering, r.raf_4k, r.bam_ms
-        );
-    }
-    println!(
-        "\nDiscussion (§5): preprocessing that increases cross-sublist \
-         locality lowers the RAF at large transfer sizes, relaxing the \
-         external-memory requirements; random ordering is the floor."
-    );
-    dump_json("reorder_study", &rows);
+    cxlg_bench::cli::shim_main("reorder_study");
 }

@@ -1,37 +1,9 @@
-//! Table 1: graph datasets — vertex/edge counts, edge-list size, and
-//! average degree (sublist size) over non-isolated vertices.
-
-use cxlg_bench::{banner, bench_scale, dump_json, paper_datasets};
-use cxlg_graph::stats::DegreeStats;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    name: String,
-    stats: DegreeStats,
-}
+//! Legacy shim: the `table1` experiment now lives in
+//! `cxlg_bench::experiments::table1` and is registered with the `cxlg`
+//! driver (`cxlg run table1`). This binary is kept so existing scripts and
+//! EXPERIMENTS.md commands keep working; stdout and the result JSON are
+//! identical to the driver's.
 
 fn main() {
-    banner("Table 1", "Graph datasets");
-    println!(
-        "{:<14} {:>12} {:>14} {:>12} {:>7} {:>11}",
-        "Dataset", "Vertices", "Edges", "(size)", "AvgDeg", "(sublist)"
-    );
-    let mut rows = Vec::new();
-    for spec in paper_datasets() {
-        let g = spec.build();
-        let stats = DegreeStats::compute(&g);
-        println!("{}", stats.table1_row(&spec.name()));
-        rows.push(Row {
-            name: spec.name(),
-            stats,
-        });
-    }
-    println!();
-    println!(
-        "Paper (scale 27): urand27 32.0 (256.0 B), kron27 67.0 (536.0 B), \
-         Friendster 55.1 (440.8 B); shapes should match at scale {}.",
-        bench_scale()
-    );
-    dump_json("table1", &rows);
+    cxlg_bench::cli::shim_main("table1");
 }

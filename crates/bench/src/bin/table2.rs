@@ -1,41 +1,9 @@
-//! Table 2: BFS frontier size per traversal depth for the uniform random
-//! graph — the paper's evidence that the algorithm itself does not limit
-//! concurrency (§3.5.1).
-
-use cxlg_bench::{banner, dump_json, paper_datasets};
-use cxlg_core::traversal::bfs_trace;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    depth: u32,
-    vertices: u64,
-}
+//! Legacy shim: the `table2` experiment now lives in
+//! `cxlg_bench::experiments::table2` and is registered with the `cxlg`
+//! driver (`cxlg run table2`). This binary is kept so existing scripts and
+//! EXPERIMENTS.md commands keep working; stdout and the result JSON are
+//! identical to the driver's.
 
 fn main() {
-    banner(
-        "Table 2",
-        "Number of vertices per BFS traversal depth (urand)",
-    );
-    let spec = paper_datasets()[0];
-    let g = spec.build();
-    let trace = bfs_trace(&g, 0);
-    println!("{:>6} {:>14}", "Depth", "Vertices");
-    let mut rows = Vec::new();
-    for (d, level) in trace.iter().enumerate() {
-        println!("{:>6} {:>14}", d + 1, level.len());
-        rows.push(Row {
-            depth: d as u32 + 1,
-            vertices: level.len() as u64,
-        });
-    }
-    let peak = rows.iter().map(|r| r.vertices).max().unwrap_or(0);
-    println!();
-    println!(
-        "Peak frontier: {peak} vertices — {}x the Gen4 Nmax of 768 \
-         (paper: most depths have tens of thousands+; concurrency is not \
-         algorithm-limited)",
-        peak / 768
-    );
-    dump_json("table2", &rows);
+    cxlg_bench::cli::shim_main("table2");
 }

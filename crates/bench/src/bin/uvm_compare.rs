@@ -1,64 +1,9 @@
-//! Extension experiment: EMOGI zero-copy vs the UVM paging baseline it
-//! replaced (Related Work, §6: UVM migrates 4 kB pages on fault; EMOGI's
-//! fine-grained direct access "significantly reduces the RAF compared
-//! with the UVM approach").
-
-use cxlg_bench::{banner, dump_json, good_source, paper_datasets, run_summary};
-use cxlg_core::runner::sweep;
-use cxlg_core::system::SystemConfig;
-use cxlg_core::traversal::Traversal;
-use cxlg_link::pcie::PcieGen;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    dataset: String,
-    emogi_ms: f64,
-    uvm_ms: f64,
-    uvm_over_emogi: f64,
-    uvm_raf: f64,
-    emogi_raf: f64,
-}
+//! Legacy shim: the `uvm_compare` experiment now lives in
+//! `cxlg_bench::experiments::uvm_compare` and is registered with the `cxlg`
+//! driver (`cxlg run uvm_compare`). This binary is kept so existing scripts and
+//! EXPERIMENTS.md commands keep working; stdout and the result JSON are
+//! identical to the driver's.
 
 fn main() {
-    banner(
-        "UVM comparison (extension)",
-        "Zero-copy (EMOGI) vs unified-virtual-memory paging, BFS",
-    );
-    let datasets = paper_datasets();
-    let rows: Vec<Row> = sweep((0..3).collect(), |i| {
-        let spec = datasets[i];
-        let g = spec.build();
-        let src = good_source(&g);
-        let bfs = Traversal::bfs(src);
-        let emogi = bfs.run(&g, &SystemConfig::emogi_on_dram(PcieGen::Gen4));
-        let uvm = bfs.run(&g, &SystemConfig::uvm_on_dram(PcieGen::Gen4));
-        eprintln!("[{}] emogi {}", spec.name(), run_summary(&emogi));
-        eprintln!("[{}] uvm   {}", spec.name(), run_summary(&uvm));
-        Row {
-            dataset: spec.name(),
-            emogi_ms: emogi.metrics.runtime.as_secs_f64() * 1e3,
-            uvm_ms: uvm.metrics.runtime.as_secs_f64() * 1e3,
-            uvm_over_emogi: uvm.metrics.runtime.as_secs_f64()
-                / emogi.metrics.runtime.as_secs_f64(),
-            uvm_raf: uvm.metrics.raf(),
-            emogi_raf: emogi.metrics.raf(),
-        }
-    });
-
-    println!(
-        "{:<16} {:>12} {:>12} {:>10} {:>10} {:>10}",
-        "Dataset", "EMOGI [ms]", "UVM [ms]", "UVM/EMOGI", "RAF emogi", "RAF uvm"
-    );
-    for r in &rows {
-        println!(
-            "{:<16} {:>12.3} {:>12.3} {:>10.2} {:>10.2} {:>10.2}",
-            r.dataset, r.emogi_ms, r.uvm_ms, r.uvm_over_emogi, r.emogi_raf, r.uvm_raf
-        );
-    }
-    println!(
-        "\nEMOGI's motivation (Related Work): fine-grained zero-copy access \
-         beats 4 kB page migration on random-access graph workloads."
-    );
-    dump_json("uvm_compare", &rows);
+    cxlg_bench::cli::shim_main("uvm_compare");
 }

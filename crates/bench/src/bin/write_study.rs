@@ -1,127 +1,9 @@
-//! Extension experiment: mixed read/write streams against each device —
-//! the Discussion section's "read-only workloads" caveat, quantified.
-//! Flash programs (~100 µs) occupy a plane 25x longer than reads, so even
-//! a small write fraction collapses flash read throughput, while DRAM and
-//! CXL degrade only mildly.
-
-use cxlg_bench::{banner, dump_json};
-use cxlg_core::runner::sweep;
-use cxlg_device::cxl_mem::{CxlMemConfig, CxlMemDevice};
-use cxlg_device::dram::HostDram;
-use cxlg_device::target::MemoryTarget;
-use cxlg_device::write::WritableTarget;
-use cxlg_device::xlfdd::XlfddDrive;
-use cxlg_sim::{SimTime, Xoshiro256StarStar};
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Point {
-    device: &'static str,
-    write_fraction: f64,
-    kiops: f64,
-}
-
-/// Closed-loop mixed workload against one device; returns achieved kIOPS.
-fn run_mixed(device: &mut (impl MemoryTarget + WritableTarget), write_fraction: f64) -> f64 {
-    let mut rng = Xoshiro256StarStar::seed_from_u64(17);
-    let ops = 20_000u64;
-    let depth = 64usize;
-    let mut inflight: std::collections::BinaryHeap<std::cmp::Reverse<SimTime>> =
-        std::collections::BinaryHeap::new();
-    let mut out = Vec::new();
-    let mut last = SimTime::ZERO;
-    for _ in 0..ops {
-        let issue = if inflight.len() >= depth {
-            inflight.pop().unwrap().0
-        } else {
-            SimTime::ZERO
-        };
-        let addr = (rng.next_below(1 << 16)) * 4096;
-        let done = if rng.next_bool(write_fraction) {
-            device.write(issue, addr, 256)
-        } else {
-            out.clear();
-            device.read(issue, addr, 256, &mut out)
-        };
-        inflight.push(std::cmp::Reverse(done));
-        last = last.max(done);
-    }
-    ops as f64 / last.as_secs_f64() / 1e3
-}
-
-// XlfddDrive has an inherent write method, not the trait; adapt.
-struct XlfddAdapter(XlfddDrive);
-impl MemoryTarget for XlfddAdapter {
-    fn read(
-        &mut self,
-        t: SimTime,
-        addr: u64,
-        bytes: u64,
-        out: &mut Vec<cxlg_device::target::ReadSegment>,
-    ) -> SimTime {
-        self.0.read(t, addr, bytes, out)
-    }
-    fn alignment(&self) -> u64 {
-        self.0.alignment()
-    }
-    fn kind(&self) -> &'static str {
-        self.0.kind()
-    }
-    fn reads_served(&self) -> u64 {
-        self.0.reads_served()
-    }
-    fn bytes_served(&self) -> u64 {
-        self.0.bytes_served()
-    }
-}
-impl WritableTarget for XlfddAdapter {
-    fn write(&mut self, t: SimTime, addr: u64, bytes: u64) -> SimTime {
-        self.0.write(t, addr, bytes)
-    }
-}
+//! Legacy shim: the `write_study` experiment now lives in
+//! `cxlg_bench::experiments::write_study` and is registered with the `cxlg`
+//! driver (`cxlg run write_study`). This binary is kept so existing scripts and
+//! EXPERIMENTS.md commands keep working; stdout and the result JSON are
+//! identical to the driver's.
 
 fn main() {
-    banner(
-        "Write study (extension)",
-        "Mixed read/write throughput per device (Discussion: read-only caveat)",
-    );
-    let fractions = [0.0, 0.01, 0.05, 0.1, 0.25, 0.5];
-    let jobs: Vec<(usize, f64)> = (0..3)
-        .flat_map(|d| fractions.into_iter().map(move |f| (d, f)))
-        .collect();
-    let points: Vec<Point> = sweep(jobs, |(d, f)| {
-        let kiops = match d {
-            0 => run_mixed(&mut HostDram::default(), f),
-            1 => run_mixed(&mut CxlMemDevice::new(CxlMemConfig::default()), f),
-            _ => run_mixed(&mut XlfddAdapter(XlfddDrive::default()), f),
-        };
-        Point {
-            device: ["host-dram", "cxl-mem", "xlfdd"][d],
-            write_fraction: f,
-            kiops,
-        }
-    });
-
-    print!("{:<12}", "write frac");
-    for f in fractions {
-        print!("{:>10.2}", f);
-    }
-    println!();
-    for dev in ["host-dram", "cxl-mem", "xlfdd"] {
-        print!("{dev:<12}");
-        for f in fractions {
-            let p = points
-                .iter()
-                .find(|p| p.device == dev && p.write_fraction == f)
-                .unwrap();
-            print!("{:>10.0}", p.kiops);
-        }
-        println!("  kIOPS");
-    }
-    println!(
-        "\nDiscussion (§5): flash write asymmetry (tPROG ~ 25x tR) makes \
-         write-heavy workloads a different problem; DRAM-backed CXL \
-         degrades only via channel sharing."
-    );
-    dump_json("write_study", &points);
+    cxlg_bench::cli::shim_main("write_study");
 }

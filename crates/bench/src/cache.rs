@@ -1,0 +1,159 @@
+//! Process-wide graph cache keyed by [`GraphSpec`].
+//!
+//! The experiment campaign (Figs. 3–6, 9–11, Tables 1–2 plus the
+//! extension studies) reuses the same three paper datasets over and
+//! over; before the cache existed, `all_figures` re-generated and
+//! re-CSR'd each of them once per figure binary. The cache guarantees
+//! **one build per distinct spec per process** — concurrent requests
+//! for the same spec block on a [`OnceLock`] while the first caller
+//! builds, and requests for different specs build in parallel (the
+//! vendored rayon spawns a fresh scoped pool per parallel call, so
+//! blocking a worker thread cannot deadlock the pool).
+//!
+//! Build counts are recorded per spec so the `cxlg` manifest can prove
+//! the "each dataset built exactly once" property of a full run.
+
+use cxlg_graph::spec::{GraphKind, GraphSpec};
+use cxlg_graph::Csr;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Manifest label uniquely identifying one built spec: dataset name plus
+/// the degree parameter and seed, because `GraphSpec::name()` alone
+/// collapses specs that differ only in those fields — and a collapsed
+/// label would make the "exactly one build per spec" evidence lie.
+fn build_label(spec: &GraphSpec) -> String {
+    let param = match spec.kind {
+        GraphKind::Uniform { avg_degree } => format!("deg{avg_degree}"),
+        GraphKind::Kronecker { edge_factor } => format!("ef{edge_factor}"),
+        GraphKind::Social { avg_degree } => format!("deg{avg_degree}"),
+    };
+    format!("{}({param})@{:#x}", spec.name(), spec.seed)
+}
+
+/// Shared, thread-safe cache of built graphs.
+#[derive(Default)]
+pub struct GraphCache {
+    entries: Mutex<HashMap<GraphSpec, Arc<OnceLock<Arc<Csr>>>>>,
+    builds: Mutex<BTreeMap<String, u64>>,
+}
+
+impl GraphCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The graph for `spec`, building it on first use. The build happens
+    /// at most once per spec; later callers (including concurrent ones)
+    /// receive a clone of the same `Arc`.
+    pub fn get(&self, spec: GraphSpec) -> Arc<Csr> {
+        let cell = {
+            let mut entries = self.entries.lock().unwrap();
+            entries.entry(spec).or_default().clone()
+        };
+        cell.get_or_init(|| {
+            *self
+                .builds
+                .lock()
+                .unwrap()
+                .entry(build_label(&spec))
+                .or_insert(0) += 1;
+            Arc::new(spec.build())
+        })
+        .clone()
+    }
+
+    /// Per-spec build counts, sorted by dataset name — the manifest's
+    /// evidence that a full campaign builds each dataset exactly once.
+    pub fn build_counts(&self) -> Vec<(String, u64)> {
+        self.builds
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn one_build_per_spec() {
+        let cache = GraphCache::new();
+        let spec = GraphSpec::urand(8).seed(1);
+        let a = cache.get(spec);
+        let b = cache.get(spec);
+        assert!(Arc::ptr_eq(&a, &b), "second get must hit the cache");
+        assert_eq!(
+            cache.build_counts(),
+            vec![("urand8(deg32)@0x1".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn distinct_specs_build_separately() {
+        let cache = GraphCache::new();
+        cache.get(GraphSpec::urand(8).seed(1));
+        cache.get(GraphSpec::kron(8).seed(1));
+        cache.get(GraphSpec::urand(8).seed(1));
+        assert_eq!(
+            cache.build_counts(),
+            vec![
+                ("kron8(ef16)@0x1".to_string(), 1),
+                ("urand8(deg32)@0x1".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn specs_sharing_a_name_count_separately() {
+        // Same name() but different seed or degree parameter: two
+        // legitimate builds, never one conflated count — the manifest
+        // must not report a spurious rebuild.
+        let cache = GraphCache::new();
+        cache.get(GraphSpec::urand(8).seed(1));
+        cache.get(GraphSpec::urand(8).seed(2));
+        cache.get(GraphSpec::uniform(8, 64).seed(1));
+        assert_eq!(
+            cache.build_counts(),
+            vec![
+                ("urand8(deg32)@0x1".to_string(), 1),
+                ("urand8(deg32)@0x2".to_string(), 1),
+                ("urand8(deg64)@0x1".to_string(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn cached_graph_is_identical_to_a_direct_build() {
+        // Determinism with the cache on/off: the cached CSR is the same
+        // graph `spec.build()` produces without a cache.
+        let spec = GraphSpec::friendster_like(8).seed(7);
+        let cache = GraphCache::new();
+        assert_eq!(*cache.get(spec), spec.build());
+    }
+
+    #[test]
+    fn concurrent_gets_build_once() {
+        // Eight parallel requests for the same spec race into the cache;
+        // OnceLock must collapse them into a single build.
+        let cache = GraphCache::new();
+        let spec = GraphSpec::kron(9).seed(3);
+        let graphs: Vec<Arc<Csr>> = (0..8u32)
+            .collect::<Vec<_>>()
+            .par_iter()
+            .map(|_| cache.get(spec))
+            .collect();
+        for g in &graphs {
+            assert!(Arc::ptr_eq(g, &graphs[0]));
+        }
+        assert_eq!(
+            cache.build_counts(),
+            vec![("kron9(ef16)@0x3".to_string(), 1)]
+        );
+    }
+}

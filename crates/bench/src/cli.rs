@@ -1,0 +1,346 @@
+//! The `cxlg` campaign driver and the legacy shim entry points.
+//!
+//! One binary fronts the whole evaluation: `cxlg list` enumerates the
+//! registry, `cxlg run <names...>` / `cxlg run --all` executes
+//! experiments in-process against a single shared [`ExperimentCtx`] (so
+//! the graph cache builds each dataset exactly once per invocation), and
+//! `--json-manifest` records the run configuration, per-experiment
+//! wall-clock, every result path, and the cache's per-spec build counts.
+//!
+//! The legacy per-figure binaries (`fig3`, `table1`, …) are shims over
+//! [`shim_main`]; `all_figures` is a shim over [`run_all`].
+
+use crate::ctx::ExperimentCtx;
+use crate::experiment::{Experiment, ExperimentReport};
+use crate::registry;
+use cxlg_core::runner::timed;
+use serde::Value;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "\
+cxlg — one driver for the paper's experiment campaign
+
+USAGE:
+    cxlg list                                   enumerate registered experiments
+    cxlg run [--json-manifest[=PATH]] <names..> run selected experiments
+    cxlg run --all [--json-manifest[=PATH]]     run the full campaign
+
+OPTIONS:
+    --json-manifest[=PATH]   write a run manifest (scale/seed/threads,
+                             per-experiment wall-clock and result paths,
+                             per-spec graph build counts); default PATH is
+                             <results_dir>/manifest.json
+
+ENVIRONMENT:
+    CXLG_SCALE        log2 vertex count (default 16)
+    CXLG_SEED         generator seed (default 0x5EED)
+    CXLG_RESULTS_DIR  result directory (default target/paper-results)
+    RAYON_NUM_THREADS worker threads for parallel sweeps
+";
+
+/// Parsed `cxlg run` arguments.
+#[derive(Debug, PartialEq, Eq)]
+pub struct RunArgs {
+    /// Run every registered experiment in registry order.
+    pub all: bool,
+    /// Explicitly selected experiment names (empty with `all`).
+    pub names: Vec<String>,
+    /// `Some(None)` = manifest at the default path; `Some(Some(p))` = at `p`.
+    pub manifest: Option<Option<String>>,
+}
+
+/// Parse the arguments following `cxlg run`.
+pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
+    let mut out = RunArgs {
+        all: false,
+        names: Vec::new(),
+        manifest: None,
+    };
+    for a in args {
+        if a == "--all" {
+            out.all = true;
+        } else if a == "--json-manifest" {
+            out.manifest = Some(None);
+        } else if let Some(path) = a.strip_prefix("--json-manifest=") {
+            if path.is_empty() {
+                return Err("--json-manifest= requires a path".to_string());
+            }
+            out.manifest = Some(Some(path.to_string()));
+        } else if a.starts_with('-') {
+            return Err(format!("unknown option `{a}`"));
+        } else {
+            out.names.push(a.clone());
+        }
+    }
+    if out.all && !out.names.is_empty() {
+        return Err("--all cannot be combined with explicit names".to_string());
+    }
+    if !out.all && out.names.is_empty() {
+        return Err("nothing to run: pass experiment names or --all".to_string());
+    }
+    Ok(out)
+}
+
+/// Resolve names against the registry, failing on the first unknown one.
+pub fn resolve(names: &[String]) -> Result<Vec<&'static dyn Experiment>, String> {
+    names
+        .iter()
+        .map(|n| {
+            registry::find(n).ok_or_else(|| {
+                format!(
+                    "unknown experiment `{n}` (known: {})",
+                    registry::names().join(", ")
+                )
+            })
+        })
+        .collect()
+}
+
+/// What a campaign run produced: the per-experiment reports plus the
+/// names of any experiments that panicked.
+pub struct CampaignOutcome {
+    /// One report per executed experiment, in run order. Failed
+    /// experiments report whatever files they dumped before panicking.
+    pub reports: Vec<ExperimentReport>,
+    /// Names of experiments whose run panicked.
+    pub failed: Vec<String>,
+}
+
+/// Run `exps` in order against one shared context, optionally writing a
+/// manifest. A panicking experiment is caught and recorded — the rest
+/// of the campaign (and the manifest) still completes, matching the
+/// per-child isolation the old `all_figures` spawner provided. This is
+/// the library core of `cxlg run`, used directly by integration tests.
+pub fn run_experiments(
+    ctx: &ExperimentCtx,
+    exps: &[&dyn Experiment],
+    manifest_path: Option<&Path>,
+) -> CampaignOutcome {
+    let mut reports = Vec::with_capacity(exps.len());
+    let mut walls_ms = Vec::with_capacity(exps.len());
+    // Per-report flags, not a name set: `run fig3 fig3` may succeed once
+    // and fail once, and the manifest must tell the two entries apart.
+    let mut failed_flags = Vec::with_capacity(exps.len());
+    let mut failed = Vec::new();
+    for exp in exps {
+        println!("\n################ {} ################\n", exp.name());
+        let (outcome, wall) = timed(|| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| exp.run(ctx)))
+        });
+        walls_ms.push(wall.as_secs_f64() * 1e3);
+        match outcome {
+            Ok(report) => {
+                reports.push(report);
+                failed_flags.push(false);
+            }
+            Err(_) => {
+                // The panic message has already gone to stderr via the
+                // default hook; salvage whatever was dumped pre-panic.
+                eprintln!("[{} FAILED]", exp.name());
+                failed.push(exp.name().to_string());
+                failed_flags.push(true);
+                reports.push(ExperimentReport {
+                    name: exp.name().to_string(),
+                    result_files: ctx.take_written(),
+                });
+            }
+        }
+    }
+    println!(
+        "\n{} of {} experiment(s) regenerated. JSON in {}.",
+        reports.len() - failed.len(),
+        exps.len(),
+        ctx.results_dir.display()
+    );
+    if !failed.is_empty() {
+        eprintln!("\nFAILED: {failed:?}");
+    }
+    if let Some(path) = manifest_path {
+        write_manifest(ctx, &reports, &walls_ms, &failed_flags, path);
+    }
+    CampaignOutcome { reports, failed }
+}
+
+/// Serialize the run manifest: configuration, per-experiment wall-clock
+/// and result paths, and the graph cache's per-spec build counts (the
+/// proof that the campaign built each dataset exactly once).
+fn write_manifest(
+    ctx: &ExperimentCtx,
+    reports: &[ExperimentReport],
+    walls_ms: &[f64],
+    failed_flags: &[bool],
+    path: &Path,
+) {
+    let experiments = reports
+        .iter()
+        .zip(walls_ms)
+        .zip(failed_flags)
+        .map(|((r, wall), failed)| {
+            Value::Map(vec![
+                ("name".to_string(), Value::Str(r.name.clone())),
+                ("wall_ms".to_string(), Value::F64(*wall)),
+                ("failed".to_string(), Value::Bool(*failed)),
+                (
+                    "result_files".to_string(),
+                    Value::Array(r.result_files.iter().map(|f| Value::Str(f.clone())).collect()),
+                ),
+            ])
+        })
+        .collect();
+    let builds = ctx
+        .graph_build_counts()
+        .into_iter()
+        .map(|(spec, n)| {
+            Value::Map(vec![
+                ("spec".to_string(), Value::Str(spec)),
+                ("builds".to_string(), Value::U64(n)),
+            ])
+        })
+        .collect();
+    let manifest = Value::Map(vec![
+        ("scale".to_string(), Value::U64(ctx.scale as u64)),
+        ("seed".to_string(), Value::U64(ctx.seed)),
+        ("threads".to_string(), Value::U64(ctx.threads as u64)),
+        (
+            "results_dir".to_string(),
+            Value::Str(ctx.results_dir.display().to_string()),
+        ),
+        ("experiments".to_string(), Value::Array(experiments)),
+        ("graph_builds".to_string(), Value::Array(builds)),
+    ]);
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).expect("create manifest dir");
+    }
+    let mut f = std::fs::File::create(path).expect("create manifest file");
+    let s = serde_json::to_string_pretty(&manifest).expect("serialize manifest");
+    f.write_all(s.as_bytes()).expect("write manifest file");
+    eprintln!("[manifest {}]", path.display());
+}
+
+/// Execute a parsed `cxlg run`, returning the process exit code.
+pub fn run_cli(args: RunArgs) -> i32 {
+    let exps: Vec<&dyn Experiment> = if args.all {
+        registry::all().collect()
+    } else {
+        match resolve(&args.names) {
+            Ok(e) => e,
+            Err(msg) => {
+                eprintln!("cxlg run: {msg}");
+                return 2;
+            }
+        }
+    };
+    let ctx = ExperimentCtx::from_env();
+    let manifest_path = args
+        .manifest
+        .map(|p| p.map_or_else(|| ctx.results_dir.join("manifest.json"), PathBuf::from));
+    let outcome = run_experiments(&ctx, &exps, manifest_path.as_deref());
+    if outcome.failed.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+/// Entry point of the `cxlg` binary.
+pub fn cxlg_main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("list") => {
+            for e in registry::all() {
+                println!("{:<16} {}", e.name(), e.description());
+            }
+            println!();
+            println!("{} experiments. Run with `cxlg run <names...>` or `cxlg run --all`.",
+                registry::ALL.len());
+            0
+        }
+        Some("run") => match parse_run_args(&args[1..]) {
+            Ok(ra) => run_cli(ra),
+            Err(msg) => {
+                eprintln!("cxlg run: {msg}\n\n{USAGE}");
+                2
+            }
+        },
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            0
+        }
+        Some(other) => {
+            eprintln!("cxlg: unknown command `{other}`\n\n{USAGE}");
+            2
+        }
+        None => {
+            eprintln!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+/// Entry point of a legacy per-figure shim binary: run exactly one
+/// registered experiment with the environment-derived context. The
+/// result JSON matches `cxlg run <name>` byte for byte (enforced by
+/// `tests/golden_parity.rs`); stdout is the experiment's own output,
+/// without the driver's `####` separator and summary footer.
+pub fn shim_main(name: &str) {
+    let exp = registry::find(name)
+        .unwrap_or_else(|| panic!("experiment `{name}` is not registered"));
+    let ctx = ExperimentCtx::from_env();
+    exp.run(&ctx);
+}
+
+/// Entry point of the `all_figures` shim: `cxlg run --all
+/// --json-manifest` under the hood (one process, shared graph cache —
+/// no child spawning).
+pub fn run_all() {
+    let code = run_cli(RunArgs {
+        all: true,
+        names: Vec::new(),
+        manifest: Some(None),
+    });
+    std::process::exit(code);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_names_and_manifest_forms() {
+        let ra = parse_run_args(&s(&["fig3", "fig6"])).unwrap();
+        assert_eq!(ra.names, vec!["fig3", "fig6"]);
+        assert!(!ra.all);
+        assert_eq!(ra.manifest, None);
+
+        let ra = parse_run_args(&s(&["--all", "--json-manifest"])).unwrap();
+        assert!(ra.all);
+        assert_eq!(ra.manifest, Some(None));
+
+        let ra = parse_run_args(&s(&["--json-manifest=/tmp/m.json", "fig3"])).unwrap();
+        assert_eq!(ra.manifest, Some(Some("/tmp/m.json".to_string())));
+    }
+
+    #[test]
+    fn parse_rejects_bad_combinations() {
+        assert!(parse_run_args(&s(&[])).is_err());
+        assert!(parse_run_args(&s(&["--all", "fig3"])).is_err());
+        assert!(parse_run_args(&s(&["--json-manifest="])).is_err());
+        assert!(parse_run_args(&s(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn resolve_reports_unknown_names() {
+        assert!(resolve(&s(&["fig3", "fig6"])).is_ok());
+        let Err(err) = resolve(&s(&["fig3", "fig7"])) else {
+            panic!("fig7 must not resolve")
+        };
+        assert!(err.contains("fig7"), "{err}");
+        assert!(err.contains("known:"), "{err}");
+    }
+}

@@ -1,0 +1,191 @@
+//! [`ExperimentCtx`] — the environment an [`Experiment`] runs in.
+//!
+//! The context owns everything the old figure binaries each re-derived
+//! from scratch: the simulation scale and seed, the thread count, the
+//! results directory, and a process-wide [`GraphCache`] so a campaign
+//! builds each dataset exactly once. Experiments receive `&ExperimentCtx`
+//! and must route every graph build and result dump through it.
+//!
+//! [`Experiment`]: crate::experiment::Experiment
+
+use crate::cache::GraphCache;
+use cxlg_graph::spec::GraphSpec;
+use cxlg_graph::Csr;
+use serde::{Serialize, Value};
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Shared run environment: scale, seed, thread count, output directory,
+/// and the graph cache.
+pub struct ExperimentCtx {
+    /// log2 of the vertex count (paper: 27).
+    pub scale: u32,
+    /// Generator seed shared by every dataset.
+    pub seed: u64,
+    /// Worker threads parallel sweeps run on.
+    pub threads: usize,
+    /// Directory result JSON is written to.
+    pub results_dir: PathBuf,
+    cache: GraphCache,
+    written: Mutex<Vec<String>>,
+}
+
+impl ExperimentCtx {
+    /// Context from the environment: `CXLG_SCALE` (default 16),
+    /// `CXLG_SEED` (default `0x5EED`), `CXLG_RESULTS_DIR` (default
+    /// `target/paper-results`), and the rayon pool size.
+    pub fn from_env() -> Self {
+        Self::new(
+            crate::bench_scale(),
+            crate::bench_seed(),
+            rayon::current_num_threads(),
+            crate::results_dir(),
+        )
+    }
+
+    /// Context with explicit parameters (tests, embedding).
+    pub fn new(scale: u32, seed: u64, threads: usize, results_dir: PathBuf) -> Self {
+        std::fs::create_dir_all(&results_dir).expect("create results dir");
+        ExperimentCtx {
+            scale,
+            seed,
+            threads,
+            results_dir,
+            cache: GraphCache::new(),
+            written: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The three paper datasets at this context's scale and seed, in
+    /// Table 1 order.
+    pub fn paper_datasets(&self) -> [GraphSpec; 3] {
+        [
+            GraphSpec::urand(self.scale).seed(self.seed),
+            GraphSpec::kron(self.scale).seed(self.seed),
+            GraphSpec::friendster_like(self.scale).seed(self.seed),
+        ]
+    }
+
+    /// The graph for `spec`, via the shared cache (built at most once
+    /// per spec per context).
+    pub fn graph(&self, spec: GraphSpec) -> Arc<Csr> {
+        self.cache.get(spec)
+    }
+
+    /// Per-spec build counts so far (manifest evidence).
+    pub fn graph_build_counts(&self) -> Vec<(String, u64)> {
+        self.cache.build_counts()
+    }
+
+    /// Print the standard experiment header.
+    pub fn banner(&self, experiment: &str, description: &str) {
+        println!("==============================================================");
+        println!("{experiment} — {description}");
+        println!(
+            "scale 2^{} vertices, seed {:#x} (paper: scale 2^27)",
+            self.scale, self.seed
+        );
+        println!("==============================================================");
+    }
+
+    /// Dump a result as JSON under the results directory.
+    ///
+    /// The file is `{ "header": {experiment, scale, seed, threads},
+    /// "series": <value> }` — the header records the run configuration,
+    /// the `series` member keeps the exact shape the legacy binaries
+    /// wrote at the top level, so ci.sh can byte-diff everything but the
+    /// `"threads"` line across pool sizes.
+    pub fn dump_json<T: Serialize>(&self, name: &str, value: &T) {
+        let wrapped = Value::Map(vec![
+            (
+                "header".to_string(),
+                Value::Map(vec![
+                    ("experiment".to_string(), Value::Str(name.to_string())),
+                    ("scale".to_string(), Value::U64(self.scale as u64)),
+                    ("seed".to_string(), Value::U64(self.seed)),
+                    ("threads".to_string(), Value::U64(self.threads as u64)),
+                ]),
+            ),
+            ("series".to_string(), value.to_value()),
+        ]);
+        let path = self.results_dir.join(format!("{name}.json"));
+        let mut f = std::fs::File::create(&path).expect("create result file");
+        let s = serde_json::to_string_pretty(&wrapped).expect("serialize result");
+        f.write_all(s.as_bytes()).expect("write result file");
+        eprintln!("[saved {}]", path.display());
+        self.written
+            .lock()
+            .unwrap()
+            .push(path.display().to_string());
+    }
+
+    /// Drain the paths dumped since the last call — the driver collects
+    /// them into the finishing experiment's report.
+    pub fn take_written(&self) -> Vec<String> {
+        std::mem::take(&mut self.written.lock().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_ctx(tag: &str) -> ExperimentCtx {
+        let dir = std::env::temp_dir().join(format!("cxlg-ctx-test-{tag}-{}", std::process::id()));
+        ExperimentCtx::new(8, 1, 2, dir)
+    }
+
+    #[test]
+    fn datasets_cover_the_paper_trio_at_ctx_scale() {
+        let ctx = tmp_ctx("trio");
+        let ds = ctx.paper_datasets();
+        assert_eq!(ds[0].name(), "urand8");
+        assert_eq!(ds[1].name(), "kron8");
+        assert_eq!(ds[2].name(), "friendster8");
+        assert!(ds.iter().all(|d| d.seed == 1));
+    }
+
+    #[test]
+    fn graphs_are_cached_per_spec() {
+        let ctx = tmp_ctx("cache");
+        let spec = ctx.paper_datasets()[0];
+        let a = ctx.graph(spec);
+        let b = ctx.graph(spec);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(
+            ctx.graph_build_counts(),
+            vec![("urand8(deg32)@0x1".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn dump_json_wraps_series_under_a_header() {
+        let ctx = tmp_ctx("dump");
+        ctx.dump_json("unit", &vec![1u64, 2, 3]);
+        let written = ctx.take_written();
+        assert_eq!(written.len(), 1);
+        let text = std::fs::read_to_string(&written[0]).unwrap();
+        let v: Value = serde_json::from_str(&text).unwrap();
+        let Value::Map(top) = &v else { panic!("top level must be a map") };
+        assert_eq!(top[0].0, "header");
+        assert_eq!(top[1].0, "series");
+        let Value::Map(header) = &top[0].1 else { panic!("header must be a map") };
+        assert_eq!(
+            header
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .collect::<Vec<_>>(),
+            vec!["experiment", "scale", "seed", "threads"]
+        );
+        assert_eq!(header[1].1, Value::U64(8));
+        assert_eq!(header[3].1, Value::U64(2));
+        assert_eq!(top[1].1, Value::Array(vec![
+            Value::U64(1),
+            Value::U64(2),
+            Value::U64(3),
+        ]));
+        // Drained: a second take sees nothing.
+        assert!(ctx.take_written().is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! The [`Experiment`] trait — the contract every paper figure, table,
+//! and extension study implements.
+//!
+//! ## Contract
+//!
+//! * [`name`](Experiment::name) is the stable identifier used by
+//!   `cxlg run <name>`, the legacy shim binary, and the result file stem
+//!   (`<results_dir>/<name>.json`). Names are unique across the
+//!   [registry](crate::registry).
+//! * [`description`](Experiment::description) is the one-line summary
+//!   `cxlg list` prints and the banner repeats.
+//! * [`run`](Experiment::run) executes the experiment against an
+//!   [`ExperimentCtx`]: it must obtain graphs through
+//!   [`ExperimentCtx::graph`] (never `GraphSpec::build` directly, so the
+//!   campaign-wide cache sees every build) and write results through
+//!   [`ExperimentCtx::dump_json`]. Runs are deterministic for a fixed
+//!   `(scale, seed)` — stdout and the JSON `series` member are
+//!   byte-identical across thread counts.
+//!
+//! Experiments are registered as [`FnExperiment`] values: plain function
+//! pointers plus metadata, so the registry is a `static` table with no
+//! allocation or registration ceremony.
+
+use crate::ctx::ExperimentCtx;
+use serde::Serialize;
+
+/// One paper figure, table, or extension study.
+pub trait Experiment: Sync {
+    /// Stable identifier (`fig3`, `table1`, `pagerank_study`, …).
+    fn name(&self) -> &'static str;
+    /// One-line summary shown by `cxlg list`.
+    fn description(&self) -> &'static str;
+    /// Execute against `ctx`, returning what was produced.
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentReport;
+}
+
+/// What one experiment run produced.
+#[derive(Debug, Clone, Serialize)]
+pub struct ExperimentReport {
+    /// The experiment's registered name.
+    pub name: String,
+    /// Result files written under the context's results directory.
+    pub result_files: Vec<String>,
+}
+
+/// An [`Experiment`] defined by a function pointer — the registry's
+/// entry type.
+pub struct FnExperiment {
+    /// Stable identifier.
+    pub name: &'static str,
+    /// One-line summary.
+    pub description: &'static str,
+    /// The experiment body. Obtains graphs and dumps results via `ctx`.
+    pub run: fn(&ExperimentCtx),
+}
+
+impl Experiment for FnExperiment {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn description(&self) -> &'static str {
+        self.description
+    }
+
+    fn run(&self, ctx: &ExperimentCtx) -> ExperimentReport {
+        // Start from a clean slate so files dumped by a previous
+        // experiment on this context are never misattributed.
+        let _ = ctx.take_written();
+        (self.run)(ctx);
+        ExperimentReport {
+            name: self.name.to_string(),
+            result_files: ctx.take_written(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noop(_: &ExperimentCtx) {}
+
+    fn dumps_one(ctx: &ExperimentCtx) {
+        ctx.dump_json("unit_exp", &7u64);
+    }
+
+    fn tmp_ctx(tag: &str) -> ExperimentCtx {
+        let dir = std::env::temp_dir().join(format!("cxlg-exp-test-{tag}-{}", std::process::id()));
+        ExperimentCtx::new(8, 1, 1, dir)
+    }
+
+    #[test]
+    fn report_attributes_written_files() {
+        let exp = FnExperiment {
+            name: "unit_exp",
+            description: "unit",
+            run: dumps_one,
+        };
+        let ctx = tmp_ctx("report");
+        let report = exp.run(&ctx);
+        assert_eq!(report.name, "unit_exp");
+        assert_eq!(report.result_files.len(), 1);
+        assert!(report.result_files[0].ends_with("unit_exp.json"));
+    }
+
+    #[test]
+    fn report_is_empty_for_print_only_experiments() {
+        let exp = FnExperiment {
+            name: "noop",
+            description: "prints, writes nothing",
+            run: noop,
+        };
+        let ctx = tmp_ctx("noop");
+        assert!(exp.run(&ctx).result_files.is_empty());
+    }
+}

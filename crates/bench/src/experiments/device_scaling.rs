@@ -1,0 +1,84 @@
+//! New-workload experiment: CXL device-count scaling past the paper's
+//! five-expander configuration.
+//!
+//! §4.2.2 sizes the prototype at five CXL devices so the pooled device
+//! tags exceed the link's Nmax; the ROADMAP asks how far interleaving
+//! scales beyond that. This experiment runs BFS/urand on CXL memory at
+//! growing device counts on Gen3 and Gen4, normalized per-generation by
+//! EMOGI on host DRAM, exposing where extra devices stop buying runtime
+//! (the link, not the device pool, becomes the binding constraint).
+
+use crate::ctx::ExperimentCtx;
+use cxlg_core::runner::sweep;
+use cxlg_core::system::SystemConfig;
+use cxlg_core::traversal::Traversal;
+use cxlg_link::pcie::PcieGen;
+use serde::Serialize;
+
+/// Banner title.
+pub const TITLE: &str = "Device scaling (extension)";
+/// One-line summary (registry + banner).
+pub const DESC: &str =
+    "BFS/urand on CXL memory vs device count (Gen3 & Gen4), normalized by host DRAM";
+
+/// Device counts: through the paper's 5 and well past it.
+const DEVICE_COUNTS: [u32; 8] = [1, 2, 3, 4, 5, 8, 12, 16];
+
+#[derive(Serialize)]
+struct Point {
+    gen: String,
+    devices: u32,
+    normalized_runtime: f64,
+    runtime_ms: f64,
+}
+
+/// Run the experiment.
+pub fn run(ctx: &ExperimentCtx) {
+    ctx.banner(TITLE, DESC);
+    let spec = ctx.paper_datasets()[0];
+    let g = ctx.graph(spec);
+    let bfs = Traversal::bfs(0);
+
+    // One host-DRAM baseline per generation, not per sweep point — at
+    // paper scale a single BFS simulation is minutes of work.
+    let gens = [PcieGen::Gen3, PcieGen::Gen4];
+    let bases: Vec<f64> = sweep(gens.to_vec(), |gen| {
+        bfs.run(&g, &SystemConfig::emogi_on_dram(gen))
+            .metrics
+            .runtime
+            .as_secs_f64()
+    });
+
+    let jobs: Vec<(PcieGen, f64, u32)> = gens
+        .into_iter()
+        .zip(bases)
+        .flat_map(|(gen, base)| DEVICE_COUNTS.into_iter().map(move |d| (gen, base, d)))
+        .collect();
+    let points: Vec<Point> = sweep(jobs, |(gen, base, devices)| {
+        let r = bfs.run(&g, &SystemConfig::emogi_on_cxl(gen, devices));
+        Point {
+            gen: format!("{gen:?}"),
+            devices,
+            normalized_runtime: r.metrics.runtime.as_secs_f64() / base,
+            runtime_ms: r.metrics.runtime.as_secs_f64() * 1e3,
+        }
+    });
+
+    for gen in ["Gen3", "Gen4"] {
+        println!("\n{gen} x16 (paper config: 5 devices)");
+        println!("{:>10} {:>14} {:>12}", "Devices", "t/t_DRAM", "t [ms]");
+        for p in points.iter().filter(|p| p.gen == gen) {
+            println!(
+                "{:>10} {:>14.2} {:>12.3}",
+                p.devices, p.normalized_runtime, p.runtime_ms
+            );
+        }
+    }
+    println!();
+    println!(
+        "Expectation: normalized runtime falls toward 1.0 as pooled tags \
+         pass Nmax (paper: five devices suffice), then flattens — the link \
+         is the binding constraint, so further devices are headroom, not speed."
+    );
+    ctx.dump_json("device_scaling", &points);
+}

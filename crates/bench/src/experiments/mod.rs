@@ -1,0 +1,26 @@
+//! Experiment implementations — one module per paper figure, table, or
+//! extension study, each exposing `TITLE`, `DESC`, and
+//! `run(&ExperimentCtx)` and registered in [`crate::registry`].
+//!
+//! These are the bodies of the former standalone binaries under
+//! `src/bin/`; the binaries remain as shims that invoke the registry.
+//! Stdout and the JSON `series` member are unchanged from the
+//! standalone era.
+
+pub mod ablation;
+pub mod cc_study;
+pub mod device_scaling;
+pub mod eqcheck;
+pub mod fig10;
+pub mod fig11;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig9;
+pub mod pagerank_study;
+pub mod reorder_study;
+pub mod table1;
+pub mod table2;
+pub mod uvm_compare;
+pub mod write_study;

@@ -1,0 +1,73 @@
+//! Extension experiment: the Discussion section's "tailored graph
+//! formats and preprocessing" — how vertex relabeling changes
+//! read-amplification and runtime at a large alignment.
+
+use crate::ctx::ExperimentCtx;
+use crate::good_source;
+use cxlg_core::raf::{default_capacity, raf_for_trace};
+use cxlg_core::system::SystemConfig;
+use cxlg_core::traversal::{bfs_trace, Traversal};
+use cxlg_graph::reorder;
+use cxlg_link::pcie::PcieGen;
+use serde::Serialize;
+
+/// Banner title.
+pub const TITLE: &str = "Reorder study (extension)";
+/// One-line summary (registry + banner).
+pub const DESC: &str = "Vertex relabeling vs RAF and BaM runtime at 4 kB lines";
+
+#[derive(Serialize)]
+struct Row {
+    dataset: String,
+    ordering: &'static str,
+    raf_4k: f64,
+    bam_ms: f64,
+}
+
+/// Run the experiment.
+pub fn run(ctx: &ExperimentCtx) {
+    ctx.banner(TITLE, DESC);
+    let mut rows = Vec::new();
+    for spec in [ctx.paper_datasets()[0], ctx.paper_datasets()[1]] {
+        let base = ctx.graph(spec);
+        let variants: Vec<(&'static str, cxlg_graph::Csr)> = vec![
+            ("native", (*base).clone()),
+            ("degree-sorted", reorder::by_degree(&base)),
+            ("bfs-order", reorder::by_bfs(&base, good_source(&base))),
+            ("random", reorder::random(&base, ctx.seed)),
+        ];
+        for (ordering, g) in variants {
+            let src = good_source(&g);
+            let trace = bfs_trace(&g, src);
+            let raf = raf_for_trace(&g, &trace, 4096, default_capacity(&g, 4096)).raf;
+            let bam = Traversal::bfs(src)
+                .run(&g, &SystemConfig::bam_on_nvme(PcieGen::Gen4, 4))
+                .metrics
+                .runtime
+                .as_secs_f64()
+                * 1e3;
+            rows.push(Row {
+                dataset: spec.name(),
+                ordering,
+                raf_4k: raf,
+                bam_ms: bam,
+            });
+        }
+    }
+    println!(
+        "{:<16} {:<14} {:>10} {:>12}",
+        "Dataset", "Ordering", "RAF@4kB", "BaM [ms]"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:<14} {:>10.2} {:>12.3}",
+            r.dataset, r.ordering, r.raf_4k, r.bam_ms
+        );
+    }
+    println!(
+        "\nDiscussion (§5): preprocessing that increases cross-sublist \
+         locality lowers the RAF at large transfer sizes, relaxing the \
+         external-memory requirements; random ordering is the floor."
+    );
+    ctx.dump_json("reorder_study", &rows);
+}

@@ -1,0 +1,43 @@
+//! Table 1: graph datasets — vertex/edge counts, edge-list size, and
+//! average degree (sublist size) over non-isolated vertices.
+
+use crate::ctx::ExperimentCtx;
+use cxlg_graph::stats::DegreeStats;
+use serde::Serialize;
+
+/// Banner title.
+pub const TITLE: &str = "Table 1";
+/// One-line summary (registry + banner).
+pub const DESC: &str = "Graph datasets";
+
+#[derive(Serialize)]
+struct Row {
+    name: String,
+    stats: DegreeStats,
+}
+
+/// Run the experiment.
+pub fn run(ctx: &ExperimentCtx) {
+    ctx.banner(TITLE, DESC);
+    println!(
+        "{:<14} {:>12} {:>14} {:>12} {:>7} {:>11}",
+        "Dataset", "Vertices", "Edges", "(size)", "AvgDeg", "(sublist)"
+    );
+    let mut rows = Vec::new();
+    for spec in ctx.paper_datasets() {
+        let g = ctx.graph(spec);
+        let stats = DegreeStats::compute(&g);
+        println!("{}", stats.table1_row(&spec.name()));
+        rows.push(Row {
+            name: spec.name(),
+            stats,
+        });
+    }
+    println!();
+    println!(
+        "Paper (scale 27): urand27 32.0 (256.0 B), kron27 67.0 (536.0 B), \
+         Friendster 55.1 (440.8 B); shapes should match at scale {}.",
+        ctx.scale
+    );
+    ctx.dump_json("table1", &rows);
+}

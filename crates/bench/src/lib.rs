@@ -1,21 +1,41 @@
-//! # cxlg-bench — harness shared by the per-figure binaries
+//! # cxlg-bench — the experiment API behind the paper campaign
 //!
-//! Each binary under `src/bin/` regenerates one table or figure of the
-//! paper (see DESIGN.md's per-experiment index) and prints the same rows
-//! or series the paper reports, normalized the same way. Results are also
-//! dumped as JSON under `target/paper-results/` so EXPERIMENTS.md can be
-//! refreshed mechanically.
+//! The paper's evaluation (Figs. 3–6, 9–11, Tables 1–2 plus extension
+//! studies) is modeled as one registry of [`Experiment`]s driven by the
+//! `cxlg` binary:
+//!
+//! * [`experiment`] — the [`Experiment`] trait contract and run reports;
+//! * [`registry`] — the static table of every experiment (`cxlg list`);
+//! * [`ctx`] — [`ExperimentCtx`]: scale, seed, threads, results dir;
+//! * [`cache`] — the [`GraphCache`] that builds each dataset exactly
+//!   once per campaign;
+//! * [`experiments`] — the per-figure implementations;
+//! * [`cli`] — the `cxlg` driver (`list` / `run` / `--json-manifest`)
+//!   and the legacy shim entry points.
+//!
+//! The historical per-figure binaries under `src/bin/` still exist as
+//! shims over the registry, with stdout and result JSON unchanged.
+//! Results are dumped under `target/paper-results/` so EXPERIMENTS.md
+//! can be refreshed mechanically.
 //!
 //! Simulation scale is controlled by the `CXLG_SCALE` environment
 //! variable (log2 of the vertex count, default 16). The paper uses
 //! scale 27 with ~30 GB edge lists; any scale preserves the *shapes*
 //! under study because the model's behaviour is driven by degree
 //! structure and byte-level geometry, not absolute size.
+//!
+//! [`Experiment`]: crate::experiment::Experiment
+//! [`ExperimentCtx`]: crate::ctx::ExperimentCtx
+//! [`GraphCache`]: crate::cache::GraphCache
+
+pub mod cache;
+pub mod cli;
+pub mod ctx;
+pub mod experiment;
+pub mod experiments;
+pub mod registry;
 
 use cxlg_core::metrics::RunReport;
-use cxlg_graph::spec::GraphSpec;
-use serde::Serialize;
-use std::io::Write as _;
 use std::path::PathBuf;
 
 /// log2 of the vertex count used by the figure binaries.
@@ -34,17 +54,6 @@ pub fn bench_seed() -> u64 {
         .unwrap_or(0x5EED)
 }
 
-/// The three paper datasets at the bench scale.
-pub fn paper_datasets() -> [GraphSpec; 3] {
-    let scale = bench_scale();
-    let seed = bench_seed();
-    [
-        GraphSpec::urand(scale).seed(seed),
-        GraphSpec::kron(scale).seed(seed),
-        GraphSpec::friendster_like(scale).seed(seed),
-    ]
-}
-
 /// A BFS/SSSP source that reaches a large component: highest-degree
 /// vertex (robust for kron/social graphs with isolated vertices).
 pub fn good_source(g: &cxlg_graph::Csr) -> cxlg_graph::VertexId {
@@ -58,27 +67,6 @@ pub fn results_dir() -> PathBuf {
         .unwrap_or_else(|_| PathBuf::from("target/paper-results"));
     std::fs::create_dir_all(&dir).expect("create results dir");
     dir
-}
-
-/// Dump a serializable result as JSON next to the printed table.
-pub fn dump_json<T: Serialize>(name: &str, value: &T) {
-    let path = results_dir().join(format!("{name}.json"));
-    let mut f = std::fs::File::create(&path).expect("create result file");
-    let s = serde_json::to_string_pretty(value).expect("serialize result");
-    f.write_all(s.as_bytes()).expect("write result file");
-    eprintln!("[saved {}]", path.display());
-}
-
-/// Print a standard header for a figure binary.
-pub fn banner(experiment: &str, description: &str) {
-    println!("==============================================================");
-    println!("{experiment} — {description}");
-    println!(
-        "scale 2^{} vertices, seed {:#x} (paper: scale 2^27)",
-        bench_scale(),
-        bench_seed()
-    );
-    println!("==============================================================");
 }
 
 /// One-line summary of a run for tables.
@@ -97,6 +85,7 @@ pub fn run_summary(r: &RunReport) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cxlg_graph::spec::GraphSpec;
 
     #[test]
     fn scale_env_parsing_defaults() {
@@ -104,14 +93,6 @@ mod tests {
         // default path yields a sane value.
         let s = bench_scale();
         assert!((8..=30).contains(&s));
-    }
-
-    #[test]
-    fn datasets_cover_the_paper_trio() {
-        let ds = paper_datasets();
-        assert!(ds[0].name().starts_with("urand"));
-        assert!(ds[1].name().starts_with("kron"));
-        assert!(ds[2].name().starts_with("friendster"));
     }
 
     #[test]

@@ -1,0 +1,126 @@
+//! The full-campaign properties the `cxlg` driver promises: every
+//! registered experiment runs against one shared context, the graph
+//! cache builds each paper dataset exactly once for the whole campaign,
+//! and the manifest records configuration, per-experiment wall-clock,
+//! and every result path.
+
+use cxlg_bench::cli::run_experiments;
+use cxlg_bench::ctx::ExperimentCtx;
+use cxlg_bench::experiment::Experiment;
+use cxlg_bench::registry;
+use serde::Value;
+use std::path::PathBuf;
+
+fn field<'v>(v: &'v Value, key: &str) -> &'v Value {
+    let Value::Map(m) = v else { panic!("expected map at {key}") };
+    &m.iter().find(|(k, _)| k == key).unwrap_or_else(|| panic!("missing {key}")).1
+}
+
+#[test]
+fn full_campaign_builds_each_dataset_once_and_manifests_everything() {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("campaign");
+    let _ = std::fs::remove_dir_all(&dir);
+    let ctx = ExperimentCtx::new(8, 0x5EED, 2, dir.clone());
+    let manifest_path = dir.join("manifest.json");
+
+    let exps: Vec<&dyn Experiment> = registry::all().collect();
+    let outcome = rayon::with_num_threads(2, || {
+        run_experiments(&ctx, &exps, Some(&manifest_path))
+    });
+    assert_eq!(outcome.reports.len(), registry::ALL.len());
+    assert!(outcome.failed.is_empty(), "failed: {:?}", outcome.failed);
+
+    // One build per paper dataset across the entire campaign — the
+    // property all_figures lost when it spawned one process per figure.
+    assert_eq!(
+        ctx.graph_build_counts(),
+        vec![
+            ("friendster8(deg55)@0x5eed".to_string(), 1),
+            ("kron8(ef16)@0x5eed".to_string(), 1),
+            ("urand8(deg32)@0x5eed".to_string(), 1),
+        ]
+    );
+
+    let manifest: Value =
+        serde_json::from_str(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+    assert_eq!(field(&manifest, "scale"), &Value::U64(8));
+    assert_eq!(field(&manifest, "seed"), &Value::U64(0x5EED));
+    assert_eq!(field(&manifest, "threads"), &Value::U64(2));
+
+    let Value::Array(experiments) = field(&manifest, "experiments") else {
+        panic!("experiments must be an array")
+    };
+    assert_eq!(experiments.len(), registry::ALL.len());
+    for (entry, exp) in experiments.iter().zip(registry::all()) {
+        assert_eq!(field(entry, "name"), &Value::Str(exp.name().to_string()));
+        let Value::F64(wall) = field(entry, "wall_ms") else {
+            panic!("wall_ms must be f64")
+        };
+        assert!(*wall >= 0.0);
+        assert_eq!(field(entry, "failed"), &Value::Bool(false));
+        let Value::Array(files) = field(entry, "result_files") else {
+            panic!("result_files must be an array")
+        };
+        // Every recorded result path exists on disk; eqcheck is the one
+        // print-only experiment.
+        if exp.name() == "eqcheck" {
+            assert!(files.is_empty(), "eqcheck writes no JSON");
+        } else {
+            assert!(!files.is_empty(), "{} wrote no results", exp.name());
+        }
+        for f in files {
+            let Value::Str(path) = f else { panic!("path must be a string") };
+            assert!(std::path::Path::new(path).is_file(), "missing {path}");
+        }
+    }
+
+    let Value::Array(builds) = field(&manifest, "graph_builds") else {
+        panic!("graph_builds must be an array")
+    };
+    assert_eq!(builds.len(), 3);
+    for b in builds {
+        assert_eq!(field(b, "builds"), &Value::U64(1));
+    }
+}
+
+#[test]
+fn a_panicking_experiment_does_not_abort_the_campaign() {
+    use cxlg_bench::experiment::FnExperiment;
+
+    fn boom(_: &ExperimentCtx) {
+        panic!("deliberate test panic");
+    }
+    fn fine(ctx: &ExperimentCtx) {
+        ctx.dump_json("fine", &1u64);
+    }
+    static BOOM: FnExperiment = FnExperiment {
+        name: "boom",
+        description: "panics on purpose",
+        run: boom,
+    };
+    static FINE: FnExperiment = FnExperiment {
+        name: "fine",
+        description: "runs after the panic",
+        run: fine,
+    };
+
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("campaign-panic");
+    let _ = std::fs::remove_dir_all(&dir);
+    let ctx = ExperimentCtx::new(8, 1, 1, dir.clone());
+    let manifest_path = dir.join("manifest.json");
+
+    let outcome = run_experiments(&ctx, &[&BOOM, &FINE], Some(&manifest_path));
+
+    // The panic is contained: the later experiment still ran, the
+    // manifest was still written, and the failure is recorded.
+    assert_eq!(outcome.failed, vec!["boom".to_string()]);
+    assert_eq!(outcome.reports.len(), 2);
+    assert!(dir.join("fine.json").is_file());
+    let manifest: Value =
+        serde_json::from_str(&std::fs::read_to_string(&manifest_path).unwrap()).unwrap();
+    let Value::Array(experiments) = field(&manifest, "experiments") else {
+        panic!("experiments must be an array")
+    };
+    assert_eq!(field(&experiments[0], "failed"), &Value::Bool(true));
+    assert_eq!(field(&experiments[1], "failed"), &Value::Bool(false));
+}

@@ -1,0 +1,84 @@
+//! Golden parity: the legacy shim binaries and the `cxlg` driver must
+//! produce byte-identical result JSON for the same environment. This is
+//! the guard that keeps the two entry points from drifting apart — the
+//! shims exist precisely because EXPERIMENTS.md and external scripts
+//! still invoke them.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const SCALE: &str = "9";
+const THREADS: &str = "2";
+
+fn run(bin: &str, args: &[&str], results_dir: &Path) {
+    let status = Command::new(bin)
+        .args(args)
+        .env("CXLG_SCALE", SCALE)
+        .env("RAYON_NUM_THREADS", THREADS)
+        .env("CXLG_RESULTS_DIR", results_dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(status.success(), "{bin} {args:?} exited with {status}");
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    // Stale results from a previous run must not mask a missing dump.
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn cxlg_run_matches_legacy_shims_byte_for_byte() {
+    let legacy_dir = tmp("golden-legacy");
+    let driver_dir = tmp("golden-driver");
+
+    run(env!("CARGO_BIN_EXE_fig3"), &[], &legacy_dir);
+    run(env!("CARGO_BIN_EXE_fig6"), &[], &legacy_dir);
+    run(env!("CARGO_BIN_EXE_cxlg"), &["run", "fig3", "fig6"], &driver_dir);
+
+    for name in ["fig3.json", "fig6.json"] {
+        let legacy = std::fs::read(legacy_dir.join(name))
+            .unwrap_or_else(|e| panic!("legacy {name} missing: {e}"));
+        let driver = std::fs::read(driver_dir.join(name))
+            .unwrap_or_else(|e| panic!("driver {name} missing: {e}"));
+        assert!(
+            legacy == driver,
+            "{name} differs between the legacy shim and `cxlg run`"
+        );
+    }
+}
+
+#[test]
+fn cxlg_rejects_unknown_experiments() {
+    let dir = tmp("golden-unknown");
+    let output = Command::new(env!("CARGO_BIN_EXE_cxlg"))
+        .args(["run", "fig7"])
+        .env("CXLG_SCALE", SCALE)
+        .env("CXLG_RESULTS_DIR", &dir)
+        .output()
+        .expect("launch cxlg");
+    assert!(!output.status.success(), "unknown name must fail");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("fig7"), "stderr names the offender: {stderr}");
+}
+
+#[test]
+fn cxlg_list_enumerates_the_registry() {
+    let output = Command::new(env!("CARGO_BIN_EXE_cxlg"))
+        .arg("list")
+        .output()
+        .expect("launch cxlg");
+    assert!(output.status.success());
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    for e in cxlg_bench::registry::all() {
+        assert!(
+            stdout.contains(e.name()),
+            "`cxlg list` omits {}",
+            e.name()
+        );
+    }
+    assert!(cxlg_bench::registry::ALL.len() >= 17);
+}

@@ -36,6 +36,17 @@ where
     points.into_par_iter().map(f).collect()
 }
 
+/// Run `f`, returning its result together with the elapsed wall-clock
+/// time. The campaign driver wraps each experiment in this to report
+/// per-experiment wall-clock in the run manifest; wall-clock is *host*
+/// time (nondeterministic), so it must never feed back into simulated
+/// results — only into operator-facing telemetry.
+pub fn timed<R>(f: impl FnOnce() -> R) -> (R, std::time::Duration) {
+    let start = std::time::Instant::now();
+    let r = f();
+    (r, start.elapsed())
+}
+
 /// A labelled runtime measurement, the common shape of the paper's
 /// normalized-runtime figures.
 #[derive(Debug, Clone)]
@@ -152,6 +163,14 @@ mod tests {
                 "sweep JSON differs between 1 and {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn timed_returns_result_and_nonzero_elapsed() {
+        let ((), d) = timed(|| std::thread::sleep(std::time::Duration::from_millis(2)));
+        assert!(d >= std::time::Duration::from_millis(2));
+        let (v, _) = timed(|| 41 + 1);
+        assert_eq!(v, 42);
     }
 
     #[test]
