@@ -24,6 +24,17 @@ cargo build --benches
 echo "==> quickstart example runs"
 cargo run --release --example quickstart >/dev/null
 
+echo "==> streaming CSR builder stays within the peak-RSS budget (scale 18, <= 10 B/arc)"
+# The two-pass scatter builder promises ~4 B per directed arc plus the
+# per-vertex offset/cursor arrays; 10 B/arc leaves slack for the process
+# baseline while still failing loudly if arc materialization ever
+# creeps back in (the sort-based path measured ~19-24 B/arc).
+cargo run --release -p cxlg-bench --bin cxlg -- graph-mem urand 18 --max-bytes-per-arc=10
+cargo run --release -p cxlg-bench --bin cxlg -- graph-mem kron 18 --max-bytes-per-arc=12
+
+echo "==> a scale-22 urand graph (134M arcs) builds to completion"
+cargo run --release -p cxlg-bench --bin cxlg -- graph-mem urand 22 --max-bytes-per-arc=10
+
 echo "==> cxlg lists the full experiment registry"
 LISTED=$(cargo run --release -p cxlg-bench --bin cxlg -- list | grep -c '^[a-z]')
 [ "$LISTED" -ge 17 ] || { echo "cxlg list shows only $LISTED experiments"; exit 1; }

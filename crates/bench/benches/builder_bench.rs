@@ -1,0 +1,30 @@
+//! Criterion bench of end-to-end graph construction — `GraphSpec::build()`
+//! through the two-pass streaming scatter builder — for the three paper
+//! dataset families at scales 16–18 (the EXPERIMENTS.md before/after
+//! table pairs these timings with `cxlg graph-mem` peak-RSS readings).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cxlg_graph::spec::GraphSpec;
+
+fn bench_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("builder_bench");
+    g.sample_size(10);
+    for scale in [16u32, 17, 18] {
+        for (label, spec) in [
+            ("urand", GraphSpec::urand(scale)),
+            ("kron", GraphSpec::kron(scale)),
+            ("social", GraphSpec::friendster_like(scale)),
+        ] {
+            // Directed arcs ~= vertices * avg degree; per-family degree
+            // differs, so report vertex throughput for comparability.
+            g.throughput(Throughput::Elements(1u64 << scale));
+            g.bench_function(BenchmarkId::new(label, scale), |b| {
+                b.iter(|| spec.build().num_edges())
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -36,6 +36,7 @@ fn build_label(spec: &GraphSpec) -> String {
 pub struct GraphCache {
     entries: Mutex<HashMap<GraphSpec, Arc<OnceLock<Arc<Csr>>>>>,
     builds: Mutex<BTreeMap<String, u64>>,
+    evictions: Mutex<BTreeMap<String, u64>>,
 }
 
 impl GraphCache {
@@ -68,6 +69,37 @@ impl GraphCache {
     /// evidence that a full campaign builds each dataset exactly once.
     pub fn build_counts(&self) -> Vec<(String, u64)> {
         self.builds
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    /// Drop the cached graph for `spec`, freeing its memory once every
+    /// outstanding `Arc` clone is gone. Returns whether a *built* graph
+    /// was actually evicted (a later `get` will rebuild — and the
+    /// manifest's build count will expose it if the eviction was
+    /// premature). Called by the campaign driver after the last
+    /// registered consumer of a spec has run.
+    pub fn release(&self, spec: &GraphSpec) -> bool {
+        let removed = self.entries.lock().unwrap().remove(spec);
+        let evicted = removed.is_some_and(|cell| cell.get().is_some());
+        if evicted {
+            *self
+                .evictions
+                .lock()
+                .unwrap()
+                .entry(build_label(spec))
+                .or_insert(0) += 1;
+        }
+        evicted
+    }
+
+    /// Per-spec eviction counts, sorted by dataset name — recorded in
+    /// the manifest alongside the build counts.
+    pub fn eviction_counts(&self) -> Vec<(String, u64)> {
+        self.evictions
             .lock()
             .unwrap()
             .iter()
@@ -135,6 +167,34 @@ mod tests {
         let spec = GraphSpec::friendster_like(8).seed(7);
         let cache = GraphCache::new();
         assert_eq!(*cache.get(spec), spec.build());
+    }
+
+    #[test]
+    fn release_evicts_and_a_later_get_rebuilds() {
+        let cache = GraphCache::new();
+        let spec = GraphSpec::urand(8).seed(1);
+        let a = cache.get(spec);
+        assert!(cache.release(&spec), "built graph must report eviction");
+        assert_eq!(
+            cache.eviction_counts(),
+            vec![("urand8(deg32)@0x1".to_string(), 1)]
+        );
+        // The evicted Arc stays valid for existing holders.
+        assert_eq!(a.num_vertices(), 256);
+        // A post-eviction get rebuilds — and the build count says so.
+        let b = cache.get(spec);
+        assert!(!Arc::ptr_eq(&a, &b), "rebuild must be a fresh Arc");
+        assert_eq!(
+            cache.build_counts(),
+            vec![("urand8(deg32)@0x1".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn release_of_an_unbuilt_spec_is_not_an_eviction() {
+        let cache = GraphCache::new();
+        assert!(!cache.release(&GraphSpec::urand(8).seed(1)));
+        assert!(cache.eviction_counts().is_empty());
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::experiment::{Experiment, ExperimentReport};
 use crate::registry;
 use cxlg_core::runner::timed;
 use serde::Value;
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -25,12 +26,19 @@ USAGE:
     cxlg list                                   enumerate registered experiments
     cxlg run [--json-manifest[=PATH]] <names..> run selected experiments
     cxlg run --all [--json-manifest[=PATH]]     run the full campaign
+    cxlg graph-mem <urand|kron|social> <scale>  build one dataset, report
+                                                wall-clock / peak RSS /
+                                                bytes-per-arc / fingerprint
 
 OPTIONS:
     --json-manifest[=PATH]   write a run manifest (scale/seed/threads,
-                             per-experiment wall-clock and result paths,
-                             per-spec graph build counts); default PATH is
+                             per-experiment wall-clock, peak RSS, result
+                             paths, per-spec graph build and eviction
+                             counts); default PATH is
                              <results_dir>/manifest.json
+    --max-bytes-per-arc=N    (graph-mem) exit nonzero when peak RSS
+                             exceeds N bytes per directed arc — the CI
+                             build-memory budget
 
 ENVIRONMENT:
     CXLG_SCALE        log2 vertex count (default 16)
@@ -117,6 +125,17 @@ pub fn run_experiments(
     exps: &[&dyn Experiment],
     manifest_path: Option<&Path>,
 ) -> CampaignOutcome {
+    // Eviction plan: count, across this run list, how many experiments
+    // declared each spec, so a graph can leave the cache right after
+    // its last consumer (peak RSS is the campaign's binding
+    // constraint).
+    let mut consumers: HashMap<cxlg_graph::GraphSpec, usize> = HashMap::new();
+    for exp in exps {
+        for spec in exp.specs(ctx) {
+            *consumers.entry(spec).or_insert(0) += 1;
+        }
+    }
+    ctx.plan_graph_consumers(consumers);
     let mut reports = Vec::with_capacity(exps.len());
     let mut walls_ms = Vec::with_capacity(exps.len());
     // Per-report flags, not a name set: `run fig3 fig3` may succeed once
@@ -143,7 +162,16 @@ pub fn run_experiments(
                 reports.push(ExperimentReport {
                     name: exp.name().to_string(),
                     result_files: ctx.take_written(),
+                    peak_rss_kb: cxlg_core::mem::peak_rss_kb(),
                 });
+            }
+        }
+        // This experiment's declared graphs are done with (even on
+        // failure — it consumes no more); evict any whose last consumer
+        // this was.
+        for spec in exp.specs(ctx) {
+            if ctx.release(spec) {
+                eprintln!("[evicted {} from the graph cache]", spec.name());
             }
         }
     }
@@ -181,6 +209,9 @@ fn write_manifest(
                 ("name".to_string(), Value::Str(r.name.clone())),
                 ("wall_ms".to_string(), Value::F64(*wall)),
                 ("failed".to_string(), Value::Bool(*failed)),
+                // Process high-water RSS when the experiment finished
+                // (monotone over the campaign; 0 = no platform source).
+                ("peak_rss_kb".to_string(), Value::U64(r.peak_rss_kb)),
                 (
                     "result_files".to_string(),
                     Value::Array(r.result_files.iter().map(|f| Value::Str(f.clone())).collect()),
@@ -198,6 +229,16 @@ fn write_manifest(
             ])
         })
         .collect();
+    let evictions = ctx
+        .graph_eviction_counts()
+        .into_iter()
+        .map(|(spec, n)| {
+            Value::Map(vec![
+                ("spec".to_string(), Value::Str(spec)),
+                ("evictions".to_string(), Value::U64(n)),
+            ])
+        })
+        .collect();
     let manifest = Value::Map(vec![
         ("scale".to_string(), Value::U64(ctx.scale as u64)),
         ("seed".to_string(), Value::U64(ctx.seed)),
@@ -206,8 +247,13 @@ fn write_manifest(
             "results_dir".to_string(),
             Value::Str(ctx.results_dir.display().to_string()),
         ),
+        (
+            "peak_rss_kb".to_string(),
+            Value::U64(cxlg_core::mem::peak_rss_kb()),
+        ),
         ("experiments".to_string(), Value::Array(experiments)),
         ("graph_builds".to_string(), Value::Array(builds)),
+        ("graph_evictions".to_string(), Value::Array(evictions)),
     ]);
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent).expect("create manifest dir");
@@ -243,6 +289,113 @@ pub fn run_cli(args: RunArgs) -> i32 {
     }
 }
 
+/// Parsed `cxlg graph-mem` arguments.
+#[derive(Debug, PartialEq)]
+pub struct GraphMemArgs {
+    /// Dataset family (`urand`, `kron`, `social`).
+    pub family: String,
+    /// log2 vertex count.
+    pub scale: u32,
+    /// Fail when peak RSS exceeds this many bytes per directed arc.
+    pub max_bytes_per_arc: Option<f64>,
+}
+
+/// Parse the arguments following `cxlg graph-mem`.
+pub fn parse_graph_mem_args(args: &[String]) -> Result<GraphMemArgs, String> {
+    let mut family = None;
+    let mut scale = None;
+    let mut max_bytes_per_arc = None;
+    for a in args {
+        if let Some(v) = a.strip_prefix("--max-bytes-per-arc=") {
+            let n: f64 = v
+                .parse()
+                .map_err(|_| format!("--max-bytes-per-arc: bad number `{v}`"))?;
+            if !n.is_finite() || n <= 0.0 {
+                return Err("--max-bytes-per-arc must be positive and finite".to_string());
+            }
+            max_bytes_per_arc = Some(n);
+        } else if a.starts_with('-') {
+            return Err(format!("unknown option `{a}`"));
+        } else if family.is_none() {
+            family = Some(a.clone());
+        } else if scale.is_none() {
+            scale = Some(
+                a.parse::<u32>()
+                    .map_err(|_| format!("bad scale `{a}`"))?,
+            );
+        } else {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+    }
+    let family = family.ok_or("graph-mem: missing dataset family")?;
+    let scale = scale.ok_or("graph-mem: missing scale")?;
+    if !matches!(family.as_str(), "urand" | "kron" | "social") {
+        return Err(format!(
+            "unknown family `{family}` (known: urand, kron, social)"
+        ));
+    }
+    // Match the generators' contract (`1 <= scale < 32`) here so a bad
+    // scale is a usage error, not a generator panic mid-build.
+    if !(1..32).contains(&scale) {
+        return Err(format!("scale {scale} out of range (1..=31)"));
+    }
+    Ok(GraphMemArgs {
+        family,
+        scale,
+        max_bytes_per_arc,
+    })
+}
+
+/// Build one dataset in this process and report build wall-clock, the
+/// process peak RSS, the bytes-per-arc ratio, and the CSR fingerprint —
+/// the probe behind the CI build-memory budget and the EXPERIMENTS.md
+/// before/after table. Returns the process exit code.
+///
+/// Peak RSS is a process-wide high-water mark, so the probe is honest
+/// only when the build is the process's dominant allocation — which is
+/// why it is a subcommand (fresh process) rather than an experiment.
+pub fn graph_mem(args: GraphMemArgs) -> i32 {
+    let seed = crate::bench_seed();
+    let spec = match args.family.as_str() {
+        "urand" => cxlg_graph::GraphSpec::urand(args.scale),
+        "kron" => cxlg_graph::GraphSpec::kron(args.scale),
+        _ => cxlg_graph::GraphSpec::friendster_like(args.scale),
+    }
+    .seed(seed);
+    let baseline_kb = cxlg_core::mem::peak_rss_kb();
+    let (g, wall) = timed(|| spec.build());
+    let peak_kb = cxlg_core::mem::peak_rss_kb();
+    let arcs = g.num_edges();
+    let bytes_per_arc = if arcs == 0 {
+        0.0
+    } else {
+        (peak_kb * 1024) as f64 / arcs as f64
+    };
+    println!(
+        "graph-mem {}: vertices={} arcs={} wall_ms={:.0} peak_rss_kb={} \
+         baseline_rss_kb={} bytes_per_arc={:.2} fingerprint={:#018x}",
+        spec.name(),
+        g.num_vertices(),
+        arcs,
+        wall.as_secs_f64() * 1e3,
+        peak_kb,
+        baseline_kb,
+        bytes_per_arc,
+        g.fingerprint(),
+    );
+    if let Some(budget) = args.max_bytes_per_arc {
+        if peak_kb == 0 {
+            eprintln!("graph-mem: no peak-RSS source on this platform; budget not enforced");
+        } else if bytes_per_arc > budget {
+            eprintln!(
+                "graph-mem: peak RSS {bytes_per_arc:.2} B/arc exceeds the {budget:.2} B/arc budget"
+            );
+            return 1;
+        }
+    }
+    0
+}
+
 /// Entry point of the `cxlg` binary.
 pub fn cxlg_main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -260,6 +413,13 @@ pub fn cxlg_main() {
             Ok(ra) => run_cli(ra),
             Err(msg) => {
                 eprintln!("cxlg run: {msg}\n\n{USAGE}");
+                2
+            }
+        },
+        Some("graph-mem") => match parse_graph_mem_args(&args[1..]) {
+            Ok(ga) => graph_mem(ga),
+            Err(msg) => {
+                eprintln!("cxlg graph-mem: {msg}\n\n{USAGE}");
                 2
             }
         },
@@ -332,6 +492,36 @@ mod tests {
         assert!(parse_run_args(&s(&["--all", "fig3"])).is_err());
         assert!(parse_run_args(&s(&["--json-manifest="])).is_err());
         assert!(parse_run_args(&s(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parse_graph_mem_forms() {
+        let ga = parse_graph_mem_args(&s(&["urand", "18"])).unwrap();
+        assert_eq!(
+            ga,
+            GraphMemArgs {
+                family: "urand".to_string(),
+                scale: 18,
+                max_bytes_per_arc: None
+            }
+        );
+        let ga = parse_graph_mem_args(&s(&["kron", "16", "--max-bytes-per-arc=10"])).unwrap();
+        assert_eq!(ga.max_bytes_per_arc, Some(10.0));
+    }
+
+    #[test]
+    fn parse_graph_mem_rejects_bad_input() {
+        assert!(parse_graph_mem_args(&s(&[])).is_err());
+        assert!(parse_graph_mem_args(&s(&["urand"])).is_err());
+        assert!(parse_graph_mem_args(&s(&["frob", "18"])).is_err());
+        assert!(parse_graph_mem_args(&s(&["urand", "big"])).is_err());
+        assert!(parse_graph_mem_args(&s(&["urand", "0"])).is_err());
+        assert!(parse_graph_mem_args(&s(&["urand", "32"])).is_err());
+        assert!(parse_graph_mem_args(&s(&["urand", "18", "19"])).is_err());
+        assert!(parse_graph_mem_args(&s(&["urand", "18", "--max-bytes-per-arc=0"])).is_err());
+        assert!(parse_graph_mem_args(&s(&["urand", "18", "--max-bytes-per-arc=inf"])).is_err());
+        assert!(parse_graph_mem_args(&s(&["urand", "18", "--max-bytes-per-arc=nan"])).is_err());
+        assert!(parse_graph_mem_args(&s(&["urand", "18", "--frob"])).is_err());
     }
 
     #[test]

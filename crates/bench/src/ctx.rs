@@ -12,6 +12,7 @@ use crate::cache::GraphCache;
 use cxlg_graph::spec::GraphSpec;
 use cxlg_graph::Csr;
 use serde::{Serialize, Value};
+use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -28,6 +29,10 @@ pub struct ExperimentCtx {
     /// Directory result JSON is written to.
     pub results_dir: PathBuf,
     cache: GraphCache,
+    /// Remaining declared consumers per spec (the eviction plan); empty
+    /// when no campaign plan was installed, in which case `release` is
+    /// a no-op and graphs live for the whole context.
+    remaining_consumers: Mutex<HashMap<GraphSpec, usize>>,
     written: Mutex<Vec<String>>,
 }
 
@@ -53,6 +58,7 @@ impl ExperimentCtx {
             threads,
             results_dir,
             cache: GraphCache::new(),
+            remaining_consumers: Mutex::new(HashMap::new()),
             written: Mutex::new(Vec::new()),
         }
     }
@@ -76,6 +82,45 @@ impl ExperimentCtx {
     /// Per-spec build counts so far (manifest evidence).
     pub fn graph_build_counts(&self) -> Vec<(String, u64)> {
         self.cache.build_counts()
+    }
+
+    /// Install the campaign's eviction plan: how many experiments in
+    /// the run list declared each spec (via
+    /// [`Experiment::specs`](crate::experiment::Experiment::specs)).
+    /// The driver computes this before the first experiment runs;
+    /// replacing an existing plan resets all remaining counts.
+    pub fn plan_graph_consumers(&self, consumers: HashMap<GraphSpec, usize>) {
+        *self.remaining_consumers.lock().unwrap() = consumers;
+    }
+
+    /// Record that one declared consumer of `spec` has finished. When
+    /// the last one does, the graph is dropped from the shared cache —
+    /// its memory is freed as soon as the final `Arc` clone goes away —
+    /// and `true` is returned. Without an installed plan this is a
+    /// no-op (single-experiment shims and tests keep whole-context
+    /// caching).
+    pub fn release(&self, spec: GraphSpec) -> bool {
+        let mut remaining = self.remaining_consumers.lock().unwrap();
+        match remaining.get_mut(&spec) {
+            Some(count) if *count > 1 => {
+                *count -= 1;
+                false
+            }
+            Some(_) => {
+                remaining.remove(&spec);
+                // Hold the plan lock across the eviction so a
+                // concurrent release of the same spec cannot double
+                // count.
+                self.cache.release(&spec)
+            }
+            None => false,
+        }
+    }
+
+    /// Per-spec eviction counts so far (manifest evidence, alongside
+    /// the build counts).
+    pub fn graph_eviction_counts(&self) -> Vec<(String, u64)> {
+        self.cache.eviction_counts()
     }
 
     /// Print the standard experiment header.
@@ -157,6 +202,33 @@ mod tests {
             ctx.graph_build_counts(),
             vec![("urand8(deg32)@0x1".to_string(), 1)]
         );
+    }
+
+    #[test]
+    fn release_evicts_only_after_the_last_declared_consumer() {
+        let ctx = tmp_ctx("evict");
+        let spec = ctx.paper_datasets()[0];
+        ctx.plan_graph_consumers(HashMap::from([(spec, 2)]));
+        let _g = ctx.graph(spec);
+        assert!(!ctx.release(spec), "first of two consumers must not evict");
+        assert!(ctx.graph_eviction_counts().is_empty());
+        assert!(ctx.release(spec), "last consumer must evict");
+        assert_eq!(
+            ctx.graph_eviction_counts(),
+            vec![("urand8(deg32)@0x1".to_string(), 1)]
+        );
+        // Releasing past the plan stays inert.
+        assert!(!ctx.release(spec));
+    }
+
+    #[test]
+    fn release_without_a_plan_is_a_no_op() {
+        let ctx = tmp_ctx("noplan");
+        let spec = ctx.paper_datasets()[0];
+        let a = ctx.graph(spec);
+        assert!(!ctx.release(spec));
+        let b = ctx.graph(spec);
+        assert!(Arc::ptr_eq(&a, &b), "graph must survive unplanned release");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! allocation or registration ceremony.
 
 use crate::ctx::ExperimentCtx;
+use cxlg_graph::GraphSpec;
 use serde::Serialize;
 
 /// One paper figure, table, or extension study.
@@ -30,6 +31,17 @@ pub trait Experiment: Sync {
     fn name(&self) -> &'static str;
     /// One-line summary shown by `cxlg list`.
     fn description(&self) -> &'static str;
+    /// The graph specs this experiment will request from
+    /// [`ExperimentCtx::graph`]. The campaign driver counts, across the
+    /// run list, how many experiments consume each spec, and evicts a
+    /// graph from the shared cache right after its last declared
+    /// consumer — peak RSS is the campaign's binding constraint. An
+    /// undeclared request still works (the cache rebuilds on demand),
+    /// but the rebuild shows up in the manifest's build counts, which
+    /// CI requires to be exactly one per spec.
+    fn specs(&self, _ctx: &ExperimentCtx) -> Vec<GraphSpec> {
+        Vec::new()
+    }
     /// Execute against `ctx`, returning what was produced.
     fn run(&self, ctx: &ExperimentCtx) -> ExperimentReport;
 }
@@ -41,6 +53,12 @@ pub struct ExperimentReport {
     pub name: String,
     /// Result files written under the context's results directory.
     pub result_files: Vec<String>,
+    /// Process peak RSS (kB) sampled when the experiment finished — a
+    /// process-wide high-water mark, so per-experiment values are
+    /// monotone over a campaign and the *increase* over the previous
+    /// experiment is what the experiment itself added. 0 when no source
+    /// exists on the platform (see `cxlg_core::mem`).
+    pub peak_rss_kb: u64,
 }
 
 /// An [`Experiment`] defined by a function pointer — the registry's
@@ -50,6 +68,8 @@ pub struct FnExperiment {
     pub name: &'static str,
     /// One-line summary.
     pub description: &'static str,
+    /// Graph specs the experiment consumes (for cache eviction planning).
+    pub specs: fn(&ExperimentCtx) -> Vec<GraphSpec>,
     /// The experiment body. Obtains graphs and dumps results via `ctx`.
     pub run: fn(&ExperimentCtx),
 }
@@ -63,6 +83,10 @@ impl Experiment for FnExperiment {
         self.description
     }
 
+    fn specs(&self, ctx: &ExperimentCtx) -> Vec<GraphSpec> {
+        (self.specs)(ctx)
+    }
+
     fn run(&self, ctx: &ExperimentCtx) -> ExperimentReport {
         // Start from a clean slate so files dumped by a previous
         // experiment on this context are never misattributed.
@@ -71,6 +95,7 @@ impl Experiment for FnExperiment {
         ExperimentReport {
             name: self.name.to_string(),
             result_files: ctx.take_written(),
+            peak_rss_kb: cxlg_core::mem::peak_rss_kb(),
         }
     }
 }
@@ -80,6 +105,10 @@ mod tests {
     use super::*;
 
     fn noop(_: &ExperimentCtx) {}
+
+    fn no_specs(_: &ExperimentCtx) -> Vec<GraphSpec> {
+        Vec::new()
+    }
 
     fn dumps_one(ctx: &ExperimentCtx) {
         ctx.dump_json("unit_exp", &7u64);
@@ -95,6 +124,7 @@ mod tests {
         let exp = FnExperiment {
             name: "unit_exp",
             description: "unit",
+            specs: no_specs,
             run: dumps_one,
         };
         let ctx = tmp_ctx("report");
@@ -102,6 +132,8 @@ mod tests {
         assert_eq!(report.name, "unit_exp");
         assert_eq!(report.result_files.len(), 1);
         assert!(report.result_files[0].ends_with("unit_exp.json"));
+        #[cfg(target_os = "linux")]
+        assert!(report.peak_rss_kb > 0, "peak RSS missing on Linux");
     }
 
     #[test]
@@ -109,6 +141,7 @@ mod tests {
         let exp = FnExperiment {
             name: "noop",
             description: "prints, writes nothing",
+            specs: no_specs,
             run: noop,
         };
         let ctx = tmp_ctx("noop");

@@ -32,6 +32,12 @@ struct Point {
     runtime_ms: f64,
 }
 
+/// Graph specs consumed — the urand dataset only (cache-eviction
+/// planning; see [`crate::experiment::Experiment::specs`]).
+pub fn specs(ctx: &ExperimentCtx) -> Vec<cxlg_graph::GraphSpec> {
+    vec![ctx.paper_datasets()[0]]
+}
+
 /// Run the experiment.
 pub fn run(ctx: &ExperimentCtx) {
     ctx.banner(TITLE, DESC);

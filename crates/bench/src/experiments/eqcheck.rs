@@ -14,6 +14,13 @@ pub const TITLE: &str = "Eq. 4 / Eq. 6";
 /// One-line summary (registry + banner).
 pub const DESC: &str = "Analytical model checks";
 
+/// Graph specs consumed — none; this experiment builds no graphs
+/// (cache-eviction planning; see
+/// [`crate::experiment::Experiment::specs`]).
+pub fn specs(_ctx: &ExperimentCtx) -> Vec<cxlg_graph::GraphSpec> {
+    Vec::new()
+}
+
 /// Run the experiment (print-only; no JSON result).
 pub fn run(ctx: &ExperimentCtx) {
     ctx.banner(TITLE, DESC);

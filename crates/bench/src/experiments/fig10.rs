@@ -13,6 +13,13 @@ pub const TITLE: &str = "Figure 10";
 pub const DESC: &str =
     "CXL prototype bandwidth & outstanding reads vs additional latency";
 
+/// Graph specs consumed — none; this experiment builds no graphs
+/// (cache-eviction planning; see
+/// [`crate::experiment::Experiment::specs`]).
+pub fn specs(_ctx: &ExperimentCtx) -> Vec<cxlg_graph::GraphSpec> {
+    Vec::new()
+}
+
 /// Run the experiment.
 pub fn run(ctx: &ExperimentCtx) {
     ctx.banner(TITLE, DESC);

@@ -13,6 +13,12 @@ pub const TITLE: &str = "Figure 4";
 /// One-line summary (registry + banner).
 pub const DESC: &str = "Runtime as a function of data transfer size (model)";
 
+/// Graph specs consumed — the urand dataset only (cache-eviction
+/// planning; see [`crate::experiment::Experiment::specs`]).
+pub fn specs(ctx: &ExperimentCtx) -> Vec<cxlg_graph::GraphSpec> {
+    vec![ctx.paper_datasets()[0]]
+}
+
 /// Run the experiment.
 pub fn run(ctx: &ExperimentCtx) {
     ctx.banner(TITLE, DESC);

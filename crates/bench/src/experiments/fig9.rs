@@ -22,6 +22,13 @@ struct Bar {
     latency_us: f64,
 }
 
+/// Graph specs consumed — none; this experiment builds no graphs
+/// (cache-eviction planning; see
+/// [`crate::experiment::Experiment::specs`]).
+pub fn specs(_ctx: &ExperimentCtx) -> Vec<cxlg_graph::GraphSpec> {
+    Vec::new()
+}
+
 /// Run the experiment.
 pub fn run(ctx: &ExperimentCtx) {
     ctx.banner(TITLE, DESC);

@@ -24,6 +24,12 @@ struct Row {
     bam_ms: f64,
 }
 
+/// Graph specs consumed — urand and kron (cache-eviction planning;
+/// see [`crate::experiment::Experiment::specs`]).
+pub fn specs(ctx: &ExperimentCtx) -> Vec<cxlg_graph::GraphSpec> {
+    vec![ctx.paper_datasets()[0], ctx.paper_datasets()[1]]
+}
+
 /// Run the experiment.
 pub fn run(ctx: &ExperimentCtx) {
     ctx.banner(TITLE, DESC);

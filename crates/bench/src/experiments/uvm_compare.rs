@@ -26,6 +26,12 @@ struct Row {
     emogi_raf: f64,
 }
 
+/// Graph specs consumed — all three paper datasets (cache-eviction
+/// planning; see [`crate::experiment::Experiment::specs`]).
+pub fn specs(ctx: &ExperimentCtx) -> Vec<cxlg_graph::GraphSpec> {
+    ctx.paper_datasets().to_vec()
+}
+
 /// Run the experiment.
 pub fn run(ctx: &ExperimentCtx) {
     ctx.banner(TITLE, DESC);

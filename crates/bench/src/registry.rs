@@ -14,6 +14,7 @@ macro_rules! entry {
         FnExperiment {
             name: $name,
             description: exp::$module::DESC,
+            specs: exp::$module::specs,
             run: exp::$module::run,
         }
     };

@@ -81,6 +81,42 @@ fn full_campaign_builds_each_dataset_once_and_manifests_everything() {
     for b in builds {
         assert_eq!(field(b, "builds"), &Value::U64(1));
     }
+
+    // The eviction plan dropped each dataset exactly once, after its
+    // last declared consumer — so the cache is empty by campaign end.
+    let Value::Array(evictions) = field(&manifest, "graph_evictions") else {
+        panic!("graph_evictions must be an array")
+    };
+    assert_eq!(evictions.len(), 3, "every dataset must be evicted once");
+    for e in evictions {
+        assert_eq!(field(e, "evictions"), &Value::U64(1));
+    }
+    assert_eq!(
+        ctx.graph_eviction_counts(),
+        vec![
+            ("friendster8(deg55)@0x5eed".to_string(), 1),
+            ("kron8(ef16)@0x5eed".to_string(), 1),
+            ("urand8(deg32)@0x5eed".to_string(), 1),
+        ]
+    );
+
+    // Peak RSS is recorded per experiment (monotone: a process-wide
+    // high-water mark) and at the campaign level — on Linux both
+    // sources are live; elsewhere the fields exist and hold 0.
+    let mut prev = 0u64;
+    for entry in experiments {
+        let Value::U64(kb) = field(entry, "peak_rss_kb") else {
+            panic!("peak_rss_kb must be u64")
+        };
+        assert!(*kb >= prev, "per-experiment peak RSS decreased");
+        prev = *kb;
+    }
+    let Value::U64(total_kb) = field(&manifest, "peak_rss_kb") else {
+        panic!("campaign peak_rss_kb must be u64")
+    };
+    assert!(*total_kb >= prev);
+    #[cfg(target_os = "linux")]
+    assert!(*total_kb > 0, "no peak-RSS source found on Linux");
 }
 
 #[test]
@@ -93,14 +129,19 @@ fn a_panicking_experiment_does_not_abort_the_campaign() {
     fn fine(ctx: &ExperimentCtx) {
         ctx.dump_json("fine", &1u64);
     }
+    fn no_specs(_: &ExperimentCtx) -> Vec<cxlg_graph::GraphSpec> {
+        Vec::new()
+    }
     static BOOM: FnExperiment = FnExperiment {
         name: "boom",
         description: "panics on purpose",
+        specs: no_specs,
         run: boom,
     };
     static FINE: FnExperiment = FnExperiment {
         name: "fine",
         description: "runs after the panic",
+        specs: no_specs,
         run: fine,
     };
 

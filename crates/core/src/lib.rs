@@ -26,6 +26,7 @@
 
 pub mod access;
 pub mod engine;
+pub mod mem;
 pub mod metrics;
 pub mod microbench;
 pub mod raf;

@@ -1,16 +1,41 @@
-//! Parallel CSR construction from edge lists.
+//! Parallel CSR construction from edge lists and regenerable arc streams.
 //!
-//! The generators produce flat `(src, dst)` arc lists; this module turns
-//! them into [`Csr`] by a rayon parallel sort on a packed `src << 32 | dst`
-//! key followed by a parallel partition-point scan for the per-vertex
-//! offsets. Sorting also groups each vertex's
-//! sublist contiguously, which is what gives real CSR edge lists their
-//! spatial locality — a property the read-amplification results (Fig. 3)
-//! depend on.
+//! Two builders share the sorted-sublist invariant (each vertex's
+//! neighbor sublist ascending — the spatial-locality property the
+//! read-amplification results of Fig. 3 depend on):
+//!
+//! * [`csr_from_arc_stream`] — the **two-pass streaming scatter
+//!   builder** every generator uses. The arcs are never materialized:
+//!   pass 1 streams the chunks to count per-vertex out-degrees, pass 2
+//!   regenerates the same chunks (generation is deterministic per
+//!   `(seed, chunk)`) and scatters each `dst` directly into its
+//!   pre-sized slot of the final targets array, and a parallel
+//!   per-sublist sort (+ in-place dedup) restores the invariant. Peak
+//!   memory is ≈ 4 B per directed arc plus the offsets/cursors arrays
+//!   (16 B per vertex), versus ≈ 24 B/arc for the sort-based path
+//!   (packed arcs + merge scratch + the copied-out targets), and the
+//!   O(m log m) global comparison sort becomes O(m) counting + scatter
+//!   plus small per-sublist sorts.
+//! * [`csr_from_packed_arcs`] — the naive sort-based builder, retained
+//!   as the reference implementation the property tests cross-check the
+//!   streaming builder against, and for callers that already hold a
+//!   materialized arc list (e.g. [`crate::reorder`]).
+//!
+//! Both are **bit-identical** to each other and across any
+//! `RAYON_NUM_THREADS`: counting is commutative, scatter order within a
+//! sublist is erased by the final per-sublist sort (duplicates are
+//! identical values), and dedup of a sorted sublist is order-free.
 
 use crate::csr::Csr;
+use crate::gen::{chunk_sizes, CHUNK_EDGES};
 use crate::VertexId;
 use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Vertices per parallel work unit in the offsets scan, the per-sublist
+/// sort, and the dedup compaction. Boundaries depend on `n` alone, so
+/// work splitting never affects results.
+const VERTEX_CHUNK: usize = 1 << 16;
 
 /// Pack an arc into a sortable 64-bit key.
 #[inline]
@@ -24,31 +49,245 @@ pub fn unpack_arc(key: u64) -> (VertexId, VertexId) {
     ((key >> 32) as VertexId, key as VertexId)
 }
 
-/// Build a CSR with `n` vertices from packed arcs (see [`pack_arc`]).
+/// A `*mut` target-array base shared by scatter workers. Safety rests on
+/// the slot discipline, not the type: every write lands at a distinct
+/// index handed out by an atomic cursor.
+struct ScatterPtr(*mut VertexId);
+unsafe impl Send for ScatterPtr {}
+unsafe impl Sync for ScatterPtr {}
+
+/// Build a CSR with `n` vertices from a **regenerable arc stream** — the
+/// two-pass streaming scatter builder.
 ///
-/// * `dedup` — remove duplicate arcs (the paper's kron dataset keeps
-///   multiplicities out; uniform random keeps whatever the generator drew).
+/// `stream(chunk, len, sink)` must emit, via `sink(src, dst)`, exactly
+/// the directed arcs of chunk `chunk` (already including any
+/// symmetrized reverse arcs), **identically on every invocation**: the
+/// builder calls it once per chunk to count degrees and once more to
+/// scatter, and panics if the two passes disagree. `chunks` is the
+/// `(chunk_index, generator_len)` descriptor list (see
+/// [`crate::gen`]); `len` is forwarded to `stream` untouched, so a
+/// chunk may emit any number of arcs (symmetrization doubles, filters
+/// drop).
+///
+/// * `dedup` — collapse duplicate arcs (the paper's kron dataset keeps
+///   multiplicities out; uniform random keeps whatever the generator
+///   drew).
 /// * Self-loops are preserved; generators that exclude them do so at
 ///   drawing time.
+///
+/// Both endpoints of every arc are range-checked against `n` in the
+/// counting pass.
+pub fn csr_from_arc_stream<F>(n: usize, chunks: &[(u64, usize)], dedup: bool, stream: F) -> Csr
+where
+    F: Fn(u64, usize, &mut dyn FnMut(VertexId, VertexId)) + Sync,
+{
+    // ---- Pass 1: per-vertex out-degree counts (no arc materialization).
+    // Atomic increments commute, so the counts — and everything derived
+    // from them — are independent of chunk scheduling.
+    let counts: Vec<AtomicU64> = std::iter::repeat_with(|| AtomicU64::new(0)).take(n).collect();
+    chunks.par_iter().for_each(|&(chunk, len)| {
+        stream(chunk, len, &mut |src, dst| {
+            assert!((src as usize) < n, "arc with src {src} out of range (n = {n})");
+            assert!((dst as usize) < n, "arc with dst {dst} out of range (n = {n})");
+            counts[src as usize].fetch_add(1, Ordering::Relaxed);
+        });
+    });
+
+    // Offsets by prefix sum; then repurpose `counts` as the scatter
+    // cursors (each vertex's next free slot), saving an n-word array.
+    let mut offsets: Vec<u64> = Vec::with_capacity(n + 1);
+    let mut acc = 0u64;
+    offsets.push(0);
+    for c in &counts {
+        let deg = c.swap(acc, Ordering::Relaxed); // cursor := offsets[v]
+        acc += deg;
+        offsets.push(acc);
+    }
+    let m = usize::try_from(acc).expect("arc count overflows usize");
+
+    // ---- Pass 2: regenerate and scatter each dst into its sublist.
+    // `vec![0; m]` allocates zeroed pages lazily; they are first touched
+    // by the scatter writes themselves.
+    let mut targets: Vec<VertexId> = vec![0; m];
+    let base = ScatterPtr(targets.as_mut_ptr());
+    chunks.par_iter().for_each(|&(chunk, len)| {
+        let base = &base;
+        stream(chunk, len, &mut |src, dst| {
+            let slot = counts[src as usize].fetch_add(1, Ordering::Relaxed) as usize;
+            // Memory safety even for a misbehaving stream: a slot past
+            // the array is a panic, never a wild write.
+            assert!(slot < m, "scatter slot {slot} out of bounds (m = {m})");
+            // SAFETY: `slot` values are handed out by atomic fetch_add,
+            // so no two writes share an index; `slot < m` was checked.
+            unsafe { *base.0.add(slot) = dst };
+        });
+    });
+    // Every cursor must have advanced exactly to the next offset —
+    // anything else means the stream emitted different arcs in the two
+    // passes, and some sublist now holds a neighbor of another vertex.
+    // (Violations are gathered, not asserted, inside the parallel scan:
+    // a worker-thread panic would reach the caller with its message
+    // replaced by the pool's.)
+    let mismatched: Vec<u64> = (0..n as u64)
+        .into_par_iter()
+        .filter(|&v| counts[v as usize].load(Ordering::Relaxed) != offsets[v as usize + 1])
+        .collect();
+    if let Some(&v) = mismatched.first() {
+        panic!(
+            "stream emitted different arcs across passes (vertex {v}: \
+             cursor {}, expected {}; {} vertices affected)",
+            counts[v as usize].load(Ordering::Relaxed),
+            offsets[v as usize + 1],
+            mismatched.len()
+        );
+    }
+    drop(counts);
+
+    // ---- Pass 3: restore the sorted-sublist invariant.
+    let new_degrees = sort_sublists(&offsets, &mut targets, dedup);
+    if let Some(new_degrees) = new_degrees {
+        let (offsets, targets) = compact_sublists(&offsets, &targets, &new_degrees);
+        return Csr::from_parts(offsets, targets);
+    }
+    Csr::from_parts(offsets, targets)
+}
+
+/// Carve `targets` into one `&mut` slice per [`VERTEX_CHUNK`]-sized
+/// vertex range, paired with the range's first vertex. Sublist
+/// boundaries never split, so the slices are disjoint and segment
+/// workers can run in parallel safely; both the sort and the dedup
+/// compaction carve with this so their segmentation can never drift
+/// apart.
+fn carve_segments<'a>(
+    offsets: &[u64],
+    targets: &'a mut [VertexId],
+) -> Vec<(usize, &'a mut [VertexId])> {
+    let n = offsets.len() - 1;
+    let mut segments: Vec<(usize, &mut [VertexId])> = Vec::with_capacity(n.div_ceil(VERTEX_CHUNK));
+    let mut rest = targets;
+    let mut consumed = 0u64;
+    for first_v in (0..n).step_by(VERTEX_CHUNK) {
+        let seg_end = offsets[(first_v + VERTEX_CHUNK).min(n)];
+        let (seg, tail) = rest.split_at_mut((seg_end - consumed) as usize);
+        segments.push((first_v, seg));
+        rest = tail;
+        consumed = seg_end;
+    }
+    segments
+}
+
+/// Sort every vertex's sublist in place, in parallel over fixed
+/// vertex-range segments. With `dedup`, each sorted sublist is also
+/// deduplicated in place — unique values moved to the sublist head —
+/// and the per-vertex unique counts are returned for
+/// [`compact_sublists`].
+fn sort_sublists(offsets: &[u64], targets: &mut [VertexId], dedup: bool) -> Option<Vec<u64>> {
+    let n = offsets.len() - 1;
+    let unique_counts: Vec<Vec<u64>> = carve_segments(offsets, targets)
+        .into_par_iter()
+        .map(|(first_v, seg)| {
+            let seg_base = offsets[first_v];
+            let last_v = (first_v + VERTEX_CHUNK).min(n);
+            let mut uniques = Vec::with_capacity(if dedup { last_v - first_v } else { 0 });
+            for v in first_v..last_v {
+                let lo = (offsets[v] - seg_base) as usize;
+                let hi = (offsets[v + 1] - seg_base) as usize;
+                let sublist = &mut seg[lo..hi];
+                sublist.sort_unstable();
+                if dedup {
+                    // In-place dedup of a sorted run: unique prefix of
+                    // length k, tail left as garbage for the compaction
+                    // pass to skip.
+                    let mut k = 0;
+                    for i in 0..sublist.len() {
+                        if i == 0 || sublist[i] != sublist[k - 1] {
+                            sublist[k] = sublist[i];
+                            k += 1;
+                        }
+                    }
+                    uniques.push(k as u64);
+                }
+            }
+            uniques
+        })
+        .collect();
+    dedup.then(|| unique_counts.into_iter().flatten().collect())
+}
+
+/// Rebuild `(offsets, targets)` keeping only each sublist's unique
+/// prefix (as recorded by [`sort_sublists`]), in parallel over the same
+/// vertex segments.
+fn compact_sublists(
+    offsets: &[u64],
+    targets: &[VertexId],
+    new_degrees: &[u64],
+) -> (Vec<u64>, Vec<VertexId>) {
+    let n = offsets.len() - 1;
+    let mut new_offsets: Vec<u64> = Vec::with_capacity(n + 1);
+    let mut acc = 0u64;
+    new_offsets.push(0);
+    for &d in new_degrees {
+        acc += d;
+        new_offsets.push(acc);
+    }
+    let mut new_targets: Vec<VertexId> = vec![0; acc as usize];
+    let segments = carve_segments(&new_offsets, new_targets.as_mut_slice());
+    segments.into_par_iter().for_each(|(first_v, seg)| {
+        let mut out = 0usize;
+        for v in first_v..(first_v + VERTEX_CHUNK).min(n) {
+            let lo = offsets[v] as usize;
+            let keep = new_degrees[v] as usize;
+            seg[out..out + keep].copy_from_slice(&targets[lo..lo + keep]);
+            out += keep;
+        }
+    });
+    (new_offsets, new_targets)
+}
+
+/// Build a CSR with `n` vertices from packed arcs (see [`pack_arc`]) by
+/// a global parallel sort — the **naive sort-based reference builder**.
+///
+/// The generators no longer use this path (they stream through
+/// [`csr_from_arc_stream`]); it remains the ground truth the property
+/// tests compare against, and the builder for callers holding an
+/// already-materialized arc list. Semantics are identical:
+///
+/// * `dedup` — remove duplicate arcs.
+/// * Self-loops are preserved.
+/// * Both endpoints are range-checked against `n`.
 pub fn csr_from_packed_arcs(n: usize, mut arcs: Vec<u64>, dedup: bool) -> Csr {
     arcs.par_sort_unstable();
     if dedup {
         arcs.dedup();
     }
-    // The arcs are sorted, so the largest src is in the last arc.
+    // The arcs are sorted, so the largest src is in the last arc; dst is
+    // the low half of the key and is unordered, so every arc is checked.
     if let Some(&last) = arcs.last() {
         let (src, _) = unpack_arc(last);
         assert!((src as usize) < n, "arc with src {src} out of range (n = {n})");
+    }
+    // (Gathered, not asserted, inside the parallel scan: a worker-thread
+    // panic reaches the caller with its message replaced by the pool's.)
+    let bad_dsts: Vec<VertexId> = arcs
+        .par_iter()
+        .map(|&a| unpack_arc(a).1)
+        .filter(|&dst| (dst as usize) >= n)
+        .collect();
+    if let Some(&dst) = bad_dsts.first() {
+        panic!("arc with dst {dst} out of range (n = {n})");
     }
     // Offsets from the *sorted* arc list: `offsets[v]` is the number of
     // arcs with src < v. Fixed-size vertex chunks (boundaries depend on
     // `n` alone, keeping the result thread-count-invariant) each locate
     // their arc segment with one binary search, then walk it linearly —
-    // O((n + m) / threads) overall, replacing the old sequential
-    // count-and-prefix-sum, which serialized on `&mut offsets`.
-    const VERTEX_CHUNK: u64 = 1 << 16;
-    let vertex_chunks: Vec<(u64, u64)> = (0..(n as u64).div_ceil(VERTEX_CHUNK))
-        .map(|i| (i * VERTEX_CHUNK, ((i + 1) * VERTEX_CHUNK).min(n as u64)))
+    // O((n + m) / threads) overall.
+    let vertex_chunks: Vec<(u64, u64)> = (0..n.div_ceil(VERTEX_CHUNK))
+        .map(|i| {
+            (
+                (i * VERTEX_CHUNK) as u64,
+                ((i + 1) * VERTEX_CHUNK).min(n) as u64,
+            )
+        })
         .collect();
     let mut offsets: Vec<u64> = vertex_chunks
         .par_iter()
@@ -68,21 +307,26 @@ pub fn csr_from_packed_arcs(n: usize, mut arcs: Vec<u64>, dedup: bool) -> Csr {
     Csr::from_parts(offsets, targets)
 }
 
-/// Build a CSR from `(src, dst)` pairs, optionally symmetrizing (adding the
-/// reverse arc for every input arc) as the paper's datasets do for
-/// undirected graphs.
+/// Build a CSR from `(src, dst)` pairs, optionally symmetrizing (adding
+/// the reverse arc for every input arc) as the paper's datasets do for
+/// undirected graphs. Routed through the streaming scatter builder —
+/// the edge slice plays the role of the regenerable stream.
 pub fn csr_from_edges(
     n: usize,
     edges: &[(VertexId, VertexId)],
     symmetrize: bool,
     dedup: bool,
 ) -> Csr {
-    let mut arcs: Vec<u64> = Vec::with_capacity(edges.len() * if symmetrize { 2 } else { 1 });
-    arcs.par_extend(edges.par_iter().map(|&(s, d)| pack_arc(s, d)));
-    if symmetrize {
-        arcs.par_extend(edges.par_iter().map(|&(s, d)| pack_arc(d, s)));
-    }
-    csr_from_packed_arcs(n, arcs, dedup)
+    let chunks = chunk_sizes(edges.len() as u64);
+    csr_from_arc_stream(n, &chunks, dedup, |chunk, len, sink| {
+        let lo = chunk as usize * CHUNK_EDGES;
+        for &(s, d) in &edges[lo..lo + len] {
+            sink(s, d);
+            if symmetrize {
+                sink(d, s);
+            }
+        }
+    })
 }
 
 #[cfg(test)]
@@ -141,6 +385,14 @@ mod tests {
     }
 
     #[test]
+    fn empty_stream_yields_empty_graph() {
+        let g = csr_from_arc_stream(5, &[], false, |_, _, _| {});
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
     fn large_random_build_is_consistent() {
         // 100k arcs over 1k vertices; degree sum must equal arc count.
         let mut arcs = Vec::new();
@@ -156,5 +408,60 @@ mod tests {
         let degree_sum: u64 = (0..1000u32).map(|v| g.degree(v)).sum();
         assert_eq!(degree_sum, 100_000);
         assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn streaming_matches_sort_reference_on_a_multichunk_input() {
+        // Enough edges for several generator chunks, duplicate-heavy so
+        // the dedup path does real work.
+        let n = 300usize;
+        let mut state = 7u64;
+        let edges: Vec<(VertexId, VertexId)> = (0..(3 * CHUNK_EDGES + 1234))
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (
+                    ((state >> 33) % n as u64) as VertexId,
+                    ((state >> 13) % n as u64) as VertexId,
+                )
+            })
+            .collect();
+        for (symmetrize, dedup) in [(false, false), (false, true), (true, false), (true, true)] {
+            let streamed = csr_from_edges(n, &edges, symmetrize, dedup);
+            let mut arcs: Vec<u64> = edges.iter().map(|&(s, d)| pack_arc(s, d)).collect();
+            if symmetrize {
+                arcs.extend(edges.iter().map(|&(s, d)| pack_arc(d, s)));
+            }
+            let reference = csr_from_packed_arcs(n, arcs, dedup);
+            assert_eq!(
+                streamed, reference,
+                "streaming != sort reference (symmetrize={symmetrize}, dedup={dedup})"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "src 9 out of range")]
+    fn stream_rejects_out_of_range_src() {
+        csr_from_arc_stream(5, &[(0, 1)], false, |_, _, sink| sink(9, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "dst 9 out of range")]
+    fn stream_rejects_out_of_range_dst() {
+        csr_from_arc_stream(5, &[(0, 1)], false, |_, _, sink| sink(0, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "different arcs across passes")]
+    fn stream_rejects_nondeterministic_streams() {
+        // Emits fewer arcs in the scatter pass than in the counting
+        // pass: the cursor check must catch it before a corrupted CSR
+        // escapes. (Emitting *more* trips the slot bounds check instead.)
+        let calls = AtomicU64::new(0);
+        csr_from_arc_stream(4, &[(0, 1)], false, |_, _, sink| {
+            for _ in calls.fetch_add(1, Ordering::Relaxed)..2 {
+                sink(1, 2);
+            }
+        });
     }
 }

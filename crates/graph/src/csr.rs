@@ -121,6 +121,29 @@ impl Csr {
         1 + (z % max_weight as u64) as u32
     }
 
+    /// FNV-1a hash over the raw offsets and targets arrays — a compact
+    /// identity for the whole graph. Two `Csr`s are equal iff their
+    /// arrays are equal, so fingerprint equality across builders or
+    /// thread counts is (collision-negligible) evidence of bit-identical
+    /// construction; the determinism tests and the `cxlg graph-mem`
+    /// probe both rely on it.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut h = FNV_OFFSET;
+        for &o in &self.offsets {
+            for b in o.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+        }
+        for &t in &self.targets {
+            for b in t.to_le_bytes() {
+                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+            }
+        }
+        h
+    }
+
     /// The vertex with the largest out-degree (first such on ties);
     /// `None` for an edgeless graph. Useful as a traversal source that is
     /// guaranteed to reach a large component in power-law graphs.
@@ -226,6 +249,16 @@ mod tests {
         }
         // Direction matters.
         assert_ne!(g.edge_weight(0, 1, 1 << 20), g.edge_weight(1, 0, 1 << 20));
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let g = figure1();
+        assert_eq!(g.fingerprint(), figure1().fingerprint());
+        // Any structural change moves the fingerprint.
+        let other = Csr::from_parts(vec![0, 4, 9, 10, 11], vec![3, 1, 2, 1, 3, 1, 2, 0, 2, 3, 1]);
+        assert_ne!(g.fingerprint(), other.fingerprint());
+        assert_ne!(Csr::empty(3).fingerprint(), Csr::empty(4).fingerprint());
     }
 
     #[test]

@@ -9,14 +9,13 @@
 //! Graph500 reference implementation) removes the artificial ID locality
 //! of the recursive construction.
 
-use crate::builder::csr_from_packed_arcs;
+use crate::builder::csr_from_arc_stream;
 use crate::csr::Csr;
 use crate::gen::{chunk_rng, chunk_sizes};
 use crate::VertexId;
 use rand::seq::SliceRandom;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rayon::prelude::*;
 
 /// Graph500 RMAT quadrant probabilities.
 pub const A: f64 = 0.57;
@@ -61,22 +60,16 @@ pub fn generate(scale: u32, edge_factor: u32, seed: u64) -> Csr {
     let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
     perm.shuffle(&mut SmallRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF));
 
-    let arcs: Vec<u64> = chunk_sizes(undirected)
-        .into_par_iter()
-        .flat_map_iter(|(chunk, count)| {
-            let mut rng = chunk_rng(seed, chunk);
-            let perm = &perm;
-            (0..count).flat_map(move |_| {
-                let (s, d) = rmat_edge(&mut rng, scale);
-                let (s, d) = (perm[s as usize], perm[d as usize]);
-                [
-                    crate::builder::pack_arc(s, d),
-                    crate::builder::pack_arc(d, s),
-                ]
-            })
-        })
-        .collect();
-    csr_from_packed_arcs(n, arcs, true)
+    let chunks = chunk_sizes(undirected);
+    csr_from_arc_stream(n, &chunks, true, |chunk, count, sink| {
+        let mut rng = chunk_rng(seed, chunk);
+        for _ in 0..count {
+            let (s, d) = rmat_edge(&mut rng, scale);
+            let (s, d) = (perm[s as usize], perm[d as usize]);
+            sink(s, d);
+            sink(d, s);
+        }
+    })
 }
 
 #[cfg(test)]

@@ -9,7 +9,12 @@
 //!
 //! All generators are deterministic per `(seed, scale)` and parallelized
 //! with rayon: edges are produced in independent chunks whose RNG streams
-//! are derived from the master seed and the chunk index.
+//! are derived from the master seed and the chunk index. That per-chunk
+//! determinism is what the two-pass streaming builder
+//! ([`crate::builder::csr_from_arc_stream`]) exploits — chunks are
+//! *regenerated* for the counting and scatter passes instead of being
+//! materialized as arc vectors, which is why graph construction peaks at
+//! ≈ 4 B per directed arc instead of ≈ 24.
 
 pub mod kronecker;
 pub mod social;

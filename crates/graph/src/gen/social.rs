@@ -10,11 +10,10 @@
 //! average sublist, a heavy-tailed sublist-size distribution, and
 //! small-world BFS frontier growth.
 
-use crate::builder::{csr_from_packed_arcs, pack_arc};
+use crate::builder::csr_from_arc_stream;
 use crate::csr::Csr;
 use crate::gen::{chunk_rng, chunk_sizes};
 use rand::Rng;
-use rayon::prelude::*;
 
 /// Walker alias table for O(1) sampling from a discrete distribution.
 #[derive(Debug, Clone)]
@@ -117,29 +116,25 @@ pub fn generate_with_exponent(scale: u32, avg_degree: u32, exponent: f64, seed: 
     let table = AliasTable::new(&weights);
     let undirected = (n as u64 * avg_degree as u64) / 2;
 
-    let arcs: Vec<u64> = chunk_sizes(undirected)
-        .into_par_iter()
-        .flat_map_iter(|(chunk, count)| {
-            let mut rng = chunk_rng(seed, chunk);
-            let table = &table;
-            (0..count).flat_map(move |_| {
-                let s = table.sample(&mut rng);
-                let mut d = table.sample(&mut rng);
-                let mut tries = 0;
-                while d == s && tries < 16 {
-                    d = table.sample(&mut rng);
-                    tries += 1;
-                }
-                if d == s {
-                    // Pathological weight concentration; drop the edge.
-                    return [u64::MAX, u64::MAX];
-                }
-                [pack_arc(s, d), pack_arc(d, s)]
-            })
-        })
-        .filter(|&a| a != u64::MAX)
-        .collect();
-    csr_from_packed_arcs(n, arcs, true)
+    let chunks = chunk_sizes(undirected);
+    csr_from_arc_stream(n, &chunks, true, |chunk, count, sink| {
+        let mut rng = chunk_rng(seed, chunk);
+        for _ in 0..count {
+            let s = table.sample(&mut rng);
+            let mut d = table.sample(&mut rng);
+            let mut tries = 0;
+            while d == s && tries < 16 {
+                d = table.sample(&mut rng);
+                tries += 1;
+            }
+            if d == s {
+                // Pathological weight concentration; drop the edge.
+                continue;
+            }
+            sink(s, d);
+            sink(d, s);
+        }
+    })
 }
 
 #[cfg(test)]

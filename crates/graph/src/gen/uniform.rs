@@ -8,39 +8,39 @@
 //! workload with the *least* locality, which is why the paper leads with
 //! it in Figures 4 and 5.
 
-use crate::builder::{csr_from_packed_arcs, pack_arc};
+use crate::builder::csr_from_arc_stream;
 use crate::csr::Csr;
 use crate::gen::{chunk_rng, chunk_sizes};
 use crate::VertexId;
 use rand::Rng;
-use rayon::prelude::*;
 
 /// Generate a uniform random graph with `2^scale` vertices and an average
 /// *directed* degree of `avg_degree` (so `n * avg_degree / 2` undirected
 /// edges before symmetrization). Self-loops are redrawn.
+///
+/// Edges are never materialized: each chunk's RNG stream is regenerated
+/// by both passes of the streaming scatter builder, so peak memory is
+/// the final CSR plus the per-vertex offset/cursor arrays.
 pub fn generate(scale: u32, avg_degree: u32, seed: u64) -> Csr {
     assert!(scale >= 1 && scale < 32, "scale out of range: {scale}");
     assert!(avg_degree >= 1, "avg_degree must be positive");
     let n = 1usize << scale;
     let undirected = (n as u64 * avg_degree as u64) / 2;
 
-    let mut arcs: Vec<u64> = chunk_sizes(undirected)
-        .into_par_iter()
-        .flat_map_iter(|(chunk, count)| {
-            let mut rng = chunk_rng(seed, chunk);
-            let n = n as u64;
-            (0..count).flat_map(move |_| {
-                let s = rng.gen_range(0..n) as VertexId;
-                let mut d = rng.gen_range(0..n) as VertexId;
-                while d == s {
-                    d = rng.gen_range(0..n) as VertexId;
-                }
-                [pack_arc(s, d), pack_arc(d, s)]
-            })
-        })
-        .collect();
-    arcs.shrink_to_fit();
-    csr_from_packed_arcs(n, arcs, false)
+    let chunks = chunk_sizes(undirected);
+    csr_from_arc_stream(n, &chunks, false, |chunk, count, sink| {
+        let mut rng = chunk_rng(seed, chunk);
+        let n = n as u64;
+        for _ in 0..count {
+            let s = rng.gen_range(0..n) as VertexId;
+            let mut d = rng.gen_range(0..n) as VertexId;
+            while d == s {
+                d = rng.gen_range(0..n) as VertexId;
+            }
+            sink(s, d);
+            sink(d, s);
+        }
+    })
 }
 
 #[cfg(test)]

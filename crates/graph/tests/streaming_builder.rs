@@ -1,0 +1,103 @@
+//! The streaming scatter builder against the sort-based reference.
+//!
+//! [`csr_from_edges`] routes every edge list through the two-pass
+//! streaming builder; [`csr_from_packed_arcs`] is the retained naive
+//! sort-based reference. The two must agree **bit for bit** on any
+//! input, in every (symmetrize, dedup) combination — and the streaming
+//! pipeline (counting, scatter, per-sublist sort) must produce the same
+//! fingerprint at any thread count for all three paper generators.
+
+use cxlg_graph::builder::{csr_from_edges, csr_from_packed_arcs, pack_arc};
+use cxlg_graph::gen::{kronecker, social, uniform};
+use cxlg_graph::VertexId;
+use proptest::prelude::*;
+
+/// Sort-based ground truth for an edge list.
+fn reference(
+    n: usize,
+    edges: &[(VertexId, VertexId)],
+    symmetrize: bool,
+    dedup: bool,
+) -> cxlg_graph::Csr {
+    let mut arcs: Vec<u64> = edges.iter().map(|&(s, d)| pack_arc(s, d)).collect();
+    if symmetrize {
+        arcs.extend(edges.iter().map(|&(s, d)| pack_arc(d, s)));
+    }
+    csr_from_packed_arcs(n, arcs, dedup)
+}
+
+/// Random edge list skewed toward collisions (small vertex range,
+/// duplicates, self-loops) so dedup and multi-arc handling are
+/// exercised, not just the happy path.
+fn random_edges(seed: u64, n: u32, len: usize) -> Vec<(VertexId, VertexId)> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (
+                ((state >> 33) % n as u64) as VertexId,
+                ((state >> 13) % n as u64) as VertexId,
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn streaming_builder_matches_sort_reference(
+        seed in 0u64..1_000_000,
+        n in 1u32..400,
+        len in 0usize..2000,
+    ) {
+        let edges = random_edges(seed, n, len);
+        for symmetrize in [false, true] {
+            for dedup in [false, true] {
+                let streamed = csr_from_edges(n as usize, &edges, symmetrize, dedup);
+                let sorted = reference(n as usize, &edges, symmetrize, dedup);
+                prop_assert_eq!(streamed.offsets(), sorted.offsets());
+                prop_assert_eq!(streamed.targets(), sorted.targets());
+                prop_assert_eq!(streamed.fingerprint(), sorted.fingerprint());
+            }
+        }
+    }
+}
+
+/// Fingerprint invariance across pool sizes for every generator family
+/// — the whole streaming pipeline (atomic counting, scatter, sublist
+/// sort, dedup compaction) must erase scheduling entirely.
+#[test]
+fn generator_fingerprints_are_thread_count_invariant() {
+    for (label, build) in [
+        ("urand", (|| uniform::generate(11, 32, 0x5EED)) as fn() -> cxlg_graph::Csr),
+        ("kron", || kronecker::generate(11, 16, 0x5EED)),
+        ("social", || social::generate(11, 55, 0x5EED)),
+    ] {
+        let reference = rayon::with_num_threads(1, build).fingerprint();
+        for threads in [2, 8] {
+            let got = rayon::with_num_threads(threads, build).fingerprint();
+            assert_eq!(
+                got, reference,
+                "{label}: fingerprint differs between 1 and {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "dst 17 out of range")]
+fn packed_arcs_builder_rejects_out_of_range_dst() {
+    // Regression: only `src` used to be range-checked (via the last
+    // sorted arc); a dst past `n` must be caught by the builder itself,
+    // with a message naming the bad endpoint.
+    csr_from_packed_arcs(4, vec![pack_arc(0, 1), pack_arc(2, 17)], false);
+}
+
+#[test]
+#[should_panic(expected = "src 9 out of range")]
+fn packed_arcs_builder_still_rejects_out_of_range_src() {
+    csr_from_packed_arcs(4, vec![pack_arc(9, 1)], false);
+}
