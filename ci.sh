@@ -61,6 +61,16 @@ done
 [ "$CHECKED" -ge 16 ] || { echo "only $CHECKED result files diffed; campaign incomplete"; exit 1; }
 echo "    $CHECKED result files byte-identical"
 
+echo "==> cxlg validate — paper-fidelity gate over the captured campaign"
+# Every series is checked against the paper's reported numbers
+# (crates/bench/src/fidelity/reference.rs); any FLAG verdict fails CI.
+# At this small scale the near-parity checks are scale-gated to SKIP
+# (still reported with residuals); the golden-file test in
+# crates/bench/tests/fidelity_golden.rs enforces zero FLAGs at scale 20
+# on the checked-in campaign.
+cargo run --release -p cxlg-bench --bin cxlg -- validate \
+    --campaign-dir=target/ci-results-t1 --write-report=target/ci-results-t1/FIDELITY.md
+
 echo "==> manifest proves each dataset was built exactly once"
 grep -Eq '"builds": 1$|"builds": 1,' target/ci-results-t1/manifest.json \
     || { echo "manifest lacks per-spec build counts"; exit 1; }

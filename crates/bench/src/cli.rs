@@ -8,7 +8,8 @@
 //! wall-clock, every result path, and the cache's per-spec build counts.
 //!
 //! The legacy per-figure binaries (`fig3`, `table1`, …) are shims over
-//! [`shim_main`]; `all_figures` is a shim over [`run_all`].
+//! [`shim_main`]; `all_figures` is a shim over [`run_all`]. `cxlg
+//! validate` (the paper-fidelity gate) lives in [`crate::fidelity`].
 
 use crate::ctx::ExperimentCtx;
 use crate::experiment::{Experiment, ExperimentReport};
@@ -29,6 +30,10 @@ USAGE:
     cxlg graph-mem <urand|kron|social> <scale>  build one dataset, report
                                                 wall-clock / peak RSS /
                                                 bytes-per-arc / fingerprint
+    cxlg validate [--campaign-dir=DIR] [--write-report[=PATH]]
+                                                check a captured campaign
+                                                against the paper's series
+                                                (exit 1 on any FLAG)
 
 OPTIONS:
     --json-manifest[=PATH]   write a run manifest (scale/seed/threads,
@@ -39,6 +44,12 @@ OPTIONS:
     --max-bytes-per-arc=N    (graph-mem) exit nonzero when peak RSS
                              exceeds N bytes per directed arc — the CI
                              build-memory budget
+    --campaign-dir=DIR       (validate) campaign to check; default is
+                             the results dir
+    --write-report[=PATH]    (validate) render FIDELITY.md — measured vs
+                             paper per figure with residuals and
+                             PASS/FLAG/SKIP verdicts; default PATH is
+                             <campaign-dir>/FIDELITY.md
 
 ENVIRONMENT:
     CXLG_SCALE        log2 vertex count (default 16)
@@ -420,6 +431,13 @@ pub fn cxlg_main() {
             Ok(ga) => graph_mem(ga),
             Err(msg) => {
                 eprintln!("cxlg graph-mem: {msg}\n\n{USAGE}");
+                2
+            }
+        },
+        Some("validate") => match crate::fidelity::parse_validate_args(&args[1..]) {
+            Ok(va) => crate::fidelity::run_validate(va),
+            Err(msg) => {
+                eprintln!("cxlg validate: {msg}\n\n{USAGE}");
                 2
             }
         },

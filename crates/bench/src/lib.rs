@@ -11,7 +11,10 @@
 //!   once per campaign;
 //! * [`experiments`] — the per-figure implementations;
 //! * [`cli`] — the `cxlg` driver (`list` / `run` / `--json-manifest`)
-//!   and the legacy shim entry points.
+//!   and the legacy shim entry points;
+//! * [`fidelity`] — `cxlg validate`: the paper's reference series as
+//!   data, a residual engine over captured campaigns, and the generated
+//!   FIDELITY.md report.
 //!
 //! The historical per-figure binaries under `src/bin/` still exist as
 //! shims over the registry, with stdout and result JSON unchanged.
@@ -33,6 +36,7 @@ pub mod cli;
 pub mod ctx;
 pub mod experiment;
 pub mod experiments;
+pub mod fidelity;
 pub mod registry;
 
 use cxlg_core::metrics::RunReport;

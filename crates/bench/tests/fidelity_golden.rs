@@ -1,0 +1,123 @@
+//! Golden-file fidelity: `cxlg validate` over the checked-in scale-20
+//! campaign must stay clean (zero FLAG verdicts — the acceptance bar
+//! for paper fidelity) and must regenerate the checked-in FIDELITY.md
+//! byte for byte. Any change to the reference data, the residual
+//! engine, or the report renderer that shifts a verdict or a formatted
+//! cell shows up here as a diff against a reviewed artifact.
+
+use cxlg_bench::fidelity::{evaluate, render_markdown, Campaign, Verdict};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn campaign_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data/campaign-scale20")
+}
+
+fn golden_report_path() -> PathBuf {
+    // The generated report is checked in at the repo root, where README
+    // and EXPERIMENTS.md link it.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../FIDELITY.md")
+}
+
+#[test]
+fn scale20_campaign_validates_with_zero_flags() {
+    let campaign = Campaign::load(&campaign_dir()).expect("load checked-in campaign");
+    assert_eq!(campaign.scale, 20);
+    assert_eq!(campaign.seed, 0x5EED);
+    let report = evaluate(&campaign);
+    let flags: Vec<String> = report
+        .findings
+        .iter()
+        .filter(|f| f.verdict == Verdict::Flag)
+        .map(|f| format!("{}/{}: {} vs {}", f.figure, f.key, f.measured, f.paper))
+        .collect();
+    assert!(flags.is_empty(), "unexplained FLAGs at scale 20: {flags:#?}");
+    // Every reproduced figure/table plus Eq. 6 is covered.
+    for figure in cxlg_bench::fidelity::reference::FIGURES {
+        assert!(
+            report.findings.iter().any(|f| f.figure == *figure),
+            "no findings for {figure}"
+        );
+    }
+}
+
+#[test]
+fn scale20_report_matches_the_checked_in_fidelity_md() {
+    let campaign = Campaign::load(&campaign_dir()).expect("load checked-in campaign");
+    let rendered = render_markdown(&evaluate(&campaign));
+    let golden = std::fs::read_to_string(golden_report_path()).expect("read FIDELITY.md");
+    assert!(
+        rendered == golden,
+        "FIDELITY.md is stale — regenerate it with\n  cxlg validate \
+         --campaign-dir=crates/bench/tests/data/campaign-scale20 \
+         --write-report=FIDELITY.md"
+    );
+}
+
+#[test]
+fn cxlg_validate_binary_exits_zero_on_the_golden_campaign() {
+    let out_dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("fidelity-golden");
+    let _ = std::fs::remove_dir_all(&out_dir);
+    std::fs::create_dir_all(&out_dir).unwrap();
+    let report = out_dir.join("FIDELITY.md");
+    let output = Command::new(env!("CARGO_BIN_EXE_cxlg"))
+        .arg("validate")
+        .arg(format!("--campaign-dir={}", campaign_dir().display()))
+        .arg(format!("--write-report={}", report.display()))
+        .output()
+        .expect("launch cxlg validate");
+    assert!(
+        output.status.success(),
+        "cxlg validate flagged the golden campaign:\n{}",
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("0 FLAG"), "{stdout}");
+    let written = std::fs::read_to_string(&report).expect("report written");
+    assert_eq!(
+        written,
+        std::fs::read_to_string(golden_report_path()).unwrap(),
+        "binary-written report differs from the checked-in FIDELITY.md"
+    );
+}
+
+#[test]
+fn cxlg_validate_rejects_bad_usage() {
+    let output = Command::new(env!("CARGO_BIN_EXE_cxlg"))
+        .args(["validate", "--frobnicate"])
+        .output()
+        .expect("launch cxlg validate");
+    assert_eq!(output.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("--frobnicate"), "{stderr}");
+}
+
+#[test]
+fn a_tampered_campaign_is_flagged() {
+    // Copy the golden campaign, corrupt one measured value past its
+    // tolerance, and confirm validation turns red.
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("fidelity-tampered");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    for entry in std::fs::read_dir(campaign_dir()).unwrap() {
+        let entry = entry.unwrap();
+        std::fs::copy(entry.path(), dir.join(entry.file_name())).unwrap();
+    }
+    // Fig. 10's +0 µs throughput is checked against the paper's ~5,700
+    // MB/s at ±5%; halving it must FLAG.
+    let fig10 = dir.join("fig10.json");
+    let text = std::fs::read_to_string(&fig10).unwrap();
+    let tampered = text.replacen("5692.768405135352", "2846.0", 1);
+    assert_ne!(text, tampered, "expected throughput value not found");
+    std::fs::write(&fig10, tampered).unwrap();
+
+    let campaign = Campaign::load(&dir).expect("tampered campaign still parses");
+    let report = evaluate(&campaign);
+    assert!(!report.clean(), "halved Fig. 10 throughput must flag");
+    let status = Command::new(env!("CARGO_BIN_EXE_cxlg"))
+        .arg("validate")
+        .arg(format!("--campaign-dir={}", dir.display()))
+        .status()
+        .expect("launch cxlg validate");
+    assert_eq!(status.code(), Some(1));
+}

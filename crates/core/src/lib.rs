@@ -24,6 +24,8 @@
 //!   is deterministic and single-threaded; sweeps are embarrassingly
 //!   parallel).
 
+#![warn(missing_docs)]
+
 pub mod access;
 pub mod engine;
 pub mod mem;

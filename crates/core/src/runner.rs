@@ -109,6 +109,50 @@ pub fn geometric_mean(xs: &[f64]) -> f64 {
     (log_sum / xs.len() as f64).exp()
 }
 
+/// Non-panicking [`geometric_mean`]: `None` for an empty input or any
+/// non-positive/NaN ratio instead of a panic. The fidelity engine
+/// aggregates measured/paper ratios with this — a degenerate series in
+/// a result file must surface as an "n/a" summary cell, not abort the
+/// whole validation run.
+pub fn try_geometric_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| !(x > 0.0)) {
+        return None;
+    }
+    Some(geometric_mean(xs))
+}
+
+/// Interpolate a `(x, y)` series at `x`, clamping outside the sampled
+/// range — the alignment step when a measured series and a paper series
+/// sample different x grids. `log_x` interpolates linearly in `ln x`
+/// (right for log-spaced axes like alignment sweeps); otherwise linear
+/// in `x`. Points must be sorted by ascending `x`.
+///
+/// Returns `None` for an empty series or a non-finite/non-positive-in-
+/// log-mode query; a single-point series clamps to that point's `y`.
+pub fn interp_series(points: &[(f64, f64)], x: f64, log_x: bool) -> Option<f64> {
+    if points.is_empty() || !x.is_finite() || (log_x && x <= 0.0) {
+        return None;
+    }
+    if x <= points[0].0 {
+        return Some(points[0].1);
+    }
+    if x >= points[points.len() - 1].0 {
+        return Some(points[points.len() - 1].1);
+    }
+    for w in points.windows(2) {
+        let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+        if x >= x0 && x <= x1 {
+            let f = if log_x {
+                (x.ln() - x0.ln()) / (x1.ln() - x0.ln())
+            } else {
+                (x - x0) / (x1 - x0)
+            };
+            return Some(y0 + f * (y1 - y0));
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,6 +235,41 @@ mod tests {
     #[should_panic(expected = "geometric mean of nothing")]
     fn geometric_mean_rejects_empty_input() {
         geometric_mean(&[]);
+    }
+
+    #[test]
+    fn try_geometric_mean_degrades_instead_of_panicking() {
+        assert_eq!(try_geometric_mean(&[]), None);
+        assert_eq!(try_geometric_mean(&[1.0, 0.0]), None);
+        assert_eq!(try_geometric_mean(&[1.0, -2.0]), None);
+        assert_eq!(try_geometric_mean(&[1.0, f64::NAN]), None);
+        let g = try_geometric_mean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interp_series_handles_degenerate_series() {
+        assert_eq!(interp_series(&[], 1.0, false), None);
+        assert_eq!(interp_series(&[(8.0, 1.5)], 4096.0, true), Some(1.5));
+        assert_eq!(interp_series(&[(8.0, 1.5)], 2.0, false), Some(1.5));
+        assert_eq!(interp_series(&[(1.0, 2.0), (2.0, 3.0)], f64::NAN, false), None);
+        assert_eq!(interp_series(&[(1.0, 2.0), (2.0, 3.0)], -1.0, true), None);
+    }
+
+    #[test]
+    fn interp_series_clamps_and_interpolates_on_both_axes() {
+        let pts = [(8.0, 1.0), (64.0, 2.0), (512.0, 4.0)];
+        // Clamped outside the sampled range.
+        assert_eq!(interp_series(&pts, 1.0, true), Some(1.0));
+        assert_eq!(interp_series(&pts, 4096.0, true), Some(4.0));
+        // Exact at knots.
+        assert_eq!(interp_series(&pts, 64.0, true), Some(2.0));
+        // Log-x: halfway between 8 and 64 in ln-space is sqrt(8*64) ≈ 22.6.
+        let mid = interp_series(&pts, (8.0f64 * 64.0).sqrt(), true).unwrap();
+        assert!((mid - 1.5).abs() < 1e-12, "{mid}");
+        // Linear-x: halfway between 64 and 512 is 288.
+        let mid = interp_series(&pts, 288.0, false).unwrap();
+        assert!((mid - 3.0).abs() < 1e-12, "{mid}");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! the integration tests (`tests/model_vs_sim.rs`): the same limits that
 //! are *formulas* here *emerge* there.
 
+#![warn(missing_docs)]
+
 pub mod eqs;
 pub mod fig4;
 pub mod requirements;
