@@ -39,27 +39,32 @@ echo "==> cxlg lists the full experiment registry"
 LISTED=$(cargo run --release -p cxlg-bench --bin cxlg -- list | grep -c '^[a-z]')
 [ "$LISTED" -ge 17 ] || { echo "cxlg list shows only $LISTED experiments"; exit 1; }
 
-echo "==> full campaign via cxlg run --all at 1- and 4-thread pools (small scale)"
-rm -rf target/ci-results-t1 target/ci-results-t4
-CXLG_SCALE=10 RAYON_NUM_THREADS=1 CXLG_RESULTS_DIR=target/ci-results-t1 \
-    cargo run --release -p cxlg-bench --bin cxlg -- run --all --json-manifest >/dev/null
-CXLG_SCALE=10 RAYON_NUM_THREADS=4 CXLG_RESULTS_DIR=target/ci-results-t4 \
-    cargo run --release -p cxlg-bench --bin cxlg -- run --all --json-manifest >/dev/null
+echo "==> full campaign via cxlg run --all at 1-, 2- and 4-thread pools (small scale)"
+# Three pool sizes, not two: with PR 6 the worker count also drives the
+# within-run round shards, so an intermediate pool catches shard-merge
+# bugs that only show between the 1-thread and saturated extremes.
+rm -rf target/ci-results-t1 target/ci-results-t2 target/ci-results-t4
+for T in 1 2 4; do
+    CXLG_SCALE=10 RAYON_NUM_THREADS=$T CXLG_RESULTS_DIR=target/ci-results-t$T \
+        cargo run --release -p cxlg-bench --bin cxlg -- run --all --json-manifest >/dev/null
+done
 
 echo "==> result JSON is byte-identical across thread counts (all experiments)"
-# Every result file must match between pool sizes except the "threads"
-# header line (which records the pool by design). The manifest is
-# telemetry (wall-clock), not a result, so it is excluded.
+# Every result file must match across all pool sizes except the
+# "threads" header line (which records the pool by design). The
+# manifest is telemetry (wall-clock), not a result, so it is excluded.
 CHECKED=0
 for f in target/ci-results-t1/*.json; do
     b="$(basename "$f")"
     [ "$b" = manifest.json ] && continue
-    cmp <(sed '/"threads"/d' "$f") <(sed '/"threads"/d' "target/ci-results-t4/$b") \
-        || { echo "$b differs between RAYON_NUM_THREADS=1 and 4"; exit 1; }
+    for T in 2 4; do
+        cmp <(sed '/"threads"/d' "$f") <(sed '/"threads"/d' "target/ci-results-t$T/$b") \
+            || { echo "$b differs between RAYON_NUM_THREADS=1 and $T"; exit 1; }
+    done
     CHECKED=$((CHECKED + 1))
 done
 [ "$CHECKED" -ge 16 ] || { echo "only $CHECKED result files diffed; campaign incomplete"; exit 1; }
-echo "    $CHECKED result files byte-identical"
+echo "    $CHECKED result files byte-identical across pools 1/2/4"
 
 echo "==> cxlg validate — paper-fidelity gate over the captured campaign"
 # Every series is checked against the paper's reported numbers

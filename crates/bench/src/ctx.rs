@@ -63,6 +63,21 @@ impl ExperimentCtx {
         }
     }
 
+    /// Run a sweep on this context's configured worker count — the one
+    /// knob that sizes both the cross-point fan-out and the within-run
+    /// round shards (`cxlg_core::engine::simulate_shards`). Experiments
+    /// should route sweeps through here rather than calling
+    /// `runner::sweep` directly, so `ctx.threads` is authoritative and
+    /// the manifest's recorded thread count matches what actually ran.
+    pub fn sweep<P, R, F>(&self, points: Vec<P>, f: F) -> Vec<R>
+    where
+        P: Send,
+        R: Send,
+        F: Fn(P) -> R + Sync + Send,
+    {
+        cxlg_core::runner::sweep_with_threads(self.threads, points, f)
+    }
+
     /// The three paper datasets at this context's scale and seed, in
     /// Table 1 order.
     pub fn paper_datasets(&self) -> [GraphSpec; 3] {

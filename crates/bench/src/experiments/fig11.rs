@@ -5,7 +5,6 @@
 
 use crate::ctx::ExperimentCtx;
 use crate::good_source;
-use cxlg_core::runner::sweep;
 use cxlg_core::system::SystemConfig;
 use cxlg_core::traversal::Traversal;
 use cxlg_link::pcie::PcieGen;
@@ -43,7 +42,7 @@ pub fn run(ctx: &ExperimentCtx) {
     let pairs: Vec<(usize, &'static str)> = (0..3)
         .flat_map(|i| [(i, "BFS"), (i, "SSSP")])
         .collect();
-    let baselines: Vec<f64> = sweep(pairs.clone(), |(i, workload)| {
+    let baselines: Vec<f64> = ctx.sweep(pairs.clone(), |(i, workload)| {
         let g = ctx.graph(datasets[i]);
         let src = good_source(&g);
         let trav = match workload {
@@ -62,7 +61,7 @@ pub fn run(ctx: &ExperimentCtx) {
         .flat_map(|((i, w), base)| added.into_iter().map(move |a| (i, w, base, a)))
         .collect();
 
-    let points: Vec<Point> = sweep(jobs, |(i, workload, base, add)| {
+    let points: Vec<Point> = ctx.sweep(jobs, |(i, workload, base, add)| {
         let spec = datasets[i];
         let g = ctx.graph(spec);
         let src = good_source(&g);

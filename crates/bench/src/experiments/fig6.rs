@@ -4,7 +4,7 @@
 
 use crate::ctx::ExperimentCtx;
 use crate::good_source;
-use cxlg_core::runner::{geometric_mean, sweep};
+use cxlg_core::runner::geometric_mean;
 use cxlg_core::system::SystemConfig;
 use cxlg_core::traversal::Traversal;
 use cxlg_link::pcie::PcieGen;
@@ -38,7 +38,7 @@ pub fn run(ctx: &ExperimentCtx) {
         .flat_map(|i| [(i, "BFS"), (i, "SSSP")])
         .collect();
 
-    let cells: Vec<Cell> = sweep(jobs, |(i, workload)| {
+    let cells: Vec<Cell> = ctx.sweep(jobs, |(i, workload)| {
         let spec = datasets[i];
         let g = ctx.graph(spec);
         let src = good_source(&g);

@@ -15,13 +15,19 @@
 //! 3. `0` — non-Linux or non-x86_64 fallback; consumers treat zero as
 //!    "not measured", never as "zero bytes".
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Running maximum across calls: some sandboxed kernels let `VmHWM`
+/// *decrease* after large frees, which would break the manifest's
+/// monotone peak accounting, so the process keeps its own high water.
+static PEAK_SEEN_KB: AtomicU64 = AtomicU64::new(0);
+
 /// Peak resident set size of this process in kilobytes, or 0 when no
-/// source is available on this platform.
+/// source is available on this platform. Monotone non-decreasing over
+/// the life of the process regardless of kernel quirks.
 pub fn peak_rss_kb() -> u64 {
-    if let Some(kb) = vm_hwm_kb() {
-        return kb;
-    }
-    ru_maxrss_kb().unwrap_or(0)
+    let kb = vm_hwm_kb().or_else(ru_maxrss_kb).unwrap_or(0);
+    PEAK_SEEN_KB.fetch_max(kb, Ordering::Relaxed).max(kb)
 }
 
 /// Parse `VmHWM:  <n> kB` out of `/proc/self/status`.

@@ -126,6 +126,47 @@ impl RunReport {
     }
 }
 
+/// Non-panicking geometric mean of ratios: `None` for an empty input or
+/// any non-positive/NaN ratio. The fidelity engine aggregates
+/// measured/paper ratios with this — a degenerate series in a result
+/// file must surface as an "n/a" summary cell, not abort the whole
+/// validation run. This is the single implementation;
+/// [`geometric_mean`] is a panicking shell around it.
+pub fn try_geometric_mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() || xs.iter().any(|&x| !(x > 0.0)) {
+        return None;
+    }
+    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
+    Some((log_sum / xs.len() as f64).exp())
+}
+
+/// Geometric mean of ratios — the paper summarizes Fig. 6 as geometric
+/// means ("1.13 times longer on average, where the geometric mean is
+/// taken over all the six pairs").
+///
+/// # Panics
+///
+/// Panics on an empty input and on any non-positive (or NaN) ratio:
+/// `ln()` of zero or a negative number is `-inf`/`NaN`, which would
+/// propagate into the summary statistic with no diagnostic. Runtime
+/// ratios are positive by construction, so a violation is a bug
+/// upstream. Computation is delegated to [`try_geometric_mean`]; this
+/// wrapper only turns the `None` into a diagnostic.
+pub fn geometric_mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "geometric mean of nothing");
+    try_geometric_mean(xs).unwrap_or_else(|| {
+        let (i, x) = xs
+            .iter()
+            .enumerate()
+            .find(|&(_, &x)| !(x > 0.0))
+            .expect("non-empty input without a mean must hold a bad ratio");
+        panic!(
+            "geometric_mean: ratio [{i}] = {x} is not positive; \
+             the geometric mean is only defined over positive ratios"
+        )
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -205,5 +246,58 @@ mod tests {
             backend: "host-dram".into(),
         };
         assert_eq!(report.depth(), 2);
+    }
+
+    #[test]
+    fn geometric_mean_of_paper_example() {
+        // geomean(1, 4) = 2; invariant to permutation.
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn panicking_and_fallible_geomean_agree_bit_for_bit() {
+        // The wrapper routes through `try_geometric_mean` — same input
+        // must produce the identical float, not a re-derived one.
+        let xs = [0.97, 1.13, 2.4, 0.51, 3.09];
+        assert_eq!(
+            geometric_mean(&xs).to_bits(),
+            try_geometric_mean(&xs).unwrap().to_bits()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "geometric mean of nothing")]
+    fn geometric_mean_rejects_empty_input() {
+        geometric_mean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio [1] = 0 is not positive")]
+    fn geometric_mean_rejects_zero_ratio_and_names_the_index() {
+        geometric_mean(&[1.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not positive")]
+    fn geometric_mean_rejects_negative_ratio() {
+        geometric_mean(&[1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not positive")]
+    fn geometric_mean_rejects_nan_ratio() {
+        geometric_mean(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn try_geometric_mean_degrades_instead_of_panicking() {
+        assert_eq!(try_geometric_mean(&[]), None);
+        assert_eq!(try_geometric_mean(&[1.0, 0.0]), None);
+        assert_eq!(try_geometric_mean(&[1.0, -2.0]), None);
+        assert_eq!(try_geometric_mean(&[1.0, f64::NAN]), None);
+        let g = try_geometric_mean(&[1.0, 4.0]).unwrap();
+        assert!((g - 2.0).abs() < 1e-12);
     }
 }

@@ -36,6 +36,21 @@ where
     points.into_par_iter().map(f).collect()
 }
 
+/// [`sweep`] on a pool of exactly `threads` workers, regardless of the
+/// ambient pool size. Campaign drivers route every sweep through this
+/// with the context's configured worker count, so one knob governs both
+/// the cross-point fan-out here and the within-run round shards in
+/// [`crate::engine::simulate_shards`]. Results are identical at any
+/// thread count; only wall-clock changes.
+pub fn sweep_with_threads<P, R, F>(threads: usize, points: Vec<P>, f: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(P) -> R + Sync + Send,
+{
+    rayon::with_num_threads(threads.max(1), || sweep(points, f))
+}
+
 /// Run `f`, returning its result together with the elapsed wall-clock
 /// time. The campaign driver wraps each experiment in this to report
 /// per-experiment wall-clock in the run manifest; wall-clock is *host*
@@ -86,40 +101,10 @@ pub fn normalized_runtimes(baseline: &RunReport, runs: &[LabelledRun]) -> Vec<(S
         .collect()
 }
 
-/// Geometric mean of ratios — the paper summarizes Fig. 6 as geometric
-/// means ("1.13 times longer on average, where the geometric mean is
-/// taken over all the six pairs").
-///
-/// # Panics
-///
-/// Panics on an empty input and on any non-positive (or NaN) ratio:
-/// `ln()` of zero or a negative number is `-inf`/`NaN`, which would
-/// propagate into the summary statistic with no diagnostic. Runtime
-/// ratios are positive by construction, so a violation is a bug upstream.
-pub fn geometric_mean(xs: &[f64]) -> f64 {
-    assert!(!xs.is_empty(), "geometric mean of nothing");
-    for (i, &x) in xs.iter().enumerate() {
-        assert!(
-            x > 0.0,
-            "geometric_mean: ratio [{i}] = {x} is not positive; \
-             the geometric mean is only defined over positive ratios"
-        );
-    }
-    let log_sum: f64 = xs.iter().map(|x| x.ln()).sum();
-    (log_sum / xs.len() as f64).exp()
-}
-
-/// Non-panicking [`geometric_mean`]: `None` for an empty input or any
-/// non-positive/NaN ratio instead of a panic. The fidelity engine
-/// aggregates measured/paper ratios with this — a degenerate series in
-/// a result file must surface as an "n/a" summary cell, not abort the
-/// whole validation run.
-pub fn try_geometric_mean(xs: &[f64]) -> Option<f64> {
-    if xs.is_empty() || xs.iter().any(|&x| !(x > 0.0)) {
-        return None;
-    }
-    Some(geometric_mean(xs))
-}
+// The geometric-mean summaries moved to `metrics` (they are statistics,
+// not sweep machinery); re-exported here so existing
+// `runner::geometric_mean` imports keep compiling.
+pub use crate::metrics::{geometric_mean, try_geometric_mean};
 
 /// Interpolate a `(x, y)` series at `x`, clamping outside the sampled
 /// range — the alignment step when a measured series and a paper series
@@ -224,27 +209,11 @@ mod tests {
     }
 
     #[test]
-    fn geometric_mean_of_paper_example() {
-        // geomean(1, 4) = 2; invariant to permutation.
+    fn geometric_mean_reexport_resolves() {
+        // The functions moved to `metrics`; the `runner` path must keep
+        // working for the figure binaries that import it from here.
         assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
-        assert!((geometric_mean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
-        assert!((geometric_mean(&[2.0]) - 2.0).abs() < 1e-12);
-    }
-
-    #[test]
-    #[should_panic(expected = "geometric mean of nothing")]
-    fn geometric_mean_rejects_empty_input() {
-        geometric_mean(&[]);
-    }
-
-    #[test]
-    fn try_geometric_mean_degrades_instead_of_panicking() {
         assert_eq!(try_geometric_mean(&[]), None);
-        assert_eq!(try_geometric_mean(&[1.0, 0.0]), None);
-        assert_eq!(try_geometric_mean(&[1.0, -2.0]), None);
-        assert_eq!(try_geometric_mean(&[1.0, f64::NAN]), None);
-        let g = try_geometric_mean(&[1.0, 4.0]).unwrap();
-        assert!((g - 2.0).abs() < 1e-12);
     }
 
     #[test]
@@ -270,18 +239,6 @@ mod tests {
         // Linear-x: halfway between 64 and 512 is 288.
         let mid = interp_series(&pts, 288.0, false).unwrap();
         assert!((mid - 3.0).abs() < 1e-12, "{mid}");
-    }
-
-    #[test]
-    #[should_panic(expected = "is not positive")]
-    fn geometric_mean_rejects_zero_ratio() {
-        geometric_mean(&[1.0, 0.0, 2.0]);
-    }
-
-    #[test]
-    #[should_panic(expected = "is not positive")]
-    fn geometric_mean_rejects_negative_ratio() {
-        geometric_mean(&[1.0, -0.5]);
     }
 
     #[test]

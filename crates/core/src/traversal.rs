@@ -13,8 +13,34 @@
 //! method and the DES engine. The RAF simulation (`raf.rs`) reuses the
 //! same traces, so Figure 3 and the runtime figures see identical access
 //! orders.
+//!
+//! # Execution paths
+//!
+//! A run has three stages: trace, request planning, and simulation.
+//! Planning is sequential by construction — the access methods are
+//! stateful across levels (the BaM cache, UVM fault tracking) — but it
+//! is cheap; simulation dominates. On backends that quiesce at the
+//! level barrier (DRAM, CXL), [`Traversal::run`] simulates each level's
+//! batch as an independent **round shard** across the rayon pool and
+//! merges outcomes in level order (see the `engine` module docs for why
+//! this is exact); flash-backed backends carry media state across
+//! batches and stay on the coupled one-engine chain.
+//! [`Traversal::run_reference`] is the sequential oracle with the
+//! identical decomposition and dispatch, and [`Traversal::run_coupled`]
+//! keeps the legacy chained-batch semantics on every backend; the
+//! differential tests pin all three against each other.
+//!
+//! Within the trace itself, BFS frontier expansion is parallelized
+//! (candidate collection against the level-entry `visited` snapshot,
+//! ordered concatenation, sort + dedup — provably the same vertex set
+//! the sequential mark-as-you-go loop produces). SSSP and CC rounds are
+//! Gauss–Seidel: a relaxation made early in a round feeds relaxations
+//! later in the same round, so their expansion order is semantic and
+//! stays sequential — their determinism across thread counts is the
+//! trivial kind.
 
 use crate::access::DeviceRequest;
+use crate::engine::{self, ShardOutcome};
 use crate::metrics::{LevelStats, RunMetrics, RunReport};
 use crate::system::SystemConfig;
 use cxlg_graph::layout::EdgeListLayout;
@@ -52,6 +78,22 @@ pub enum Workload {
 pub struct Traversal {
     /// The workload to execute.
     pub workload: Workload,
+}
+
+/// Everything the simulation stage needs, produced by the sequential
+/// planning stage: one request batch per level plus the trace-derived
+/// statistics the engine cannot know.
+struct RunPlan {
+    /// Per-level device request batches, in level order.
+    batches: Vec<Vec<DeviceRequest>>,
+    /// Per-level `(frontier size, useful bytes)`.
+    level_info: Vec<(u64, u64)>,
+    /// Sum of per-level useful bytes (`E` of §3.1).
+    total_useful: u64,
+    /// Access-method cache hits over the whole run.
+    total_hits: u64,
+    /// Vertices reached (BFS/SSSP/CC) or processed (PageRank).
+    reached: u64,
 }
 
 impl Traversal {
@@ -100,84 +142,177 @@ impl Traversal {
     /// Each level lists the vertices whose sublists are read, in the
     /// (sorted) order the GPU kernel would process them.
     pub fn trace(&self, g: &Csr) -> Vec<Vec<VertexId>> {
+        self.trace_with_reached(g).0
+    }
+
+    /// The trace plus the reached/processed vertex count, computed in
+    /// one pass (SSSP previously re-ran the whole Bellman–Ford to count
+    /// reached vertices).
+    fn trace_with_reached(&self, g: &Csr) -> (Vec<Vec<VertexId>>, u64) {
         match self.workload {
-            Workload::Bfs { source } => bfs_trace(g, source),
-            Workload::Sssp { source, max_weight } => sssp_trace(g, source, max_weight),
-            Workload::PageRank { iterations } => pagerank_trace(g, iterations),
-            Workload::ConnectedComponents => cc_trace(g).0,
+            Workload::Bfs { source } => {
+                let t = bfs_trace(g, source);
+                let reached = t.iter().map(|l| l.len() as u64).sum();
+                (t, reached)
+            }
+            Workload::Sssp { source, max_weight } => sssp_trace_with_reached(g, source, max_weight),
+            Workload::PageRank { iterations } => {
+                (pagerank_trace(g, iterations), g.num_vertices() as u64)
+            }
+            Workload::ConnectedComponents => cc_trace(g),
+        }
+    }
+
+    /// Sequential planning stage: trace the workload, then route every
+    /// level's sublist spans through the (stateful) access method to get
+    /// per-level request batches.
+    fn plan(&self, g: &Csr, sys: &SystemConfig) -> RunPlan {
+        let layout = EdgeListLayout::new(g);
+        let mut access = sys.build_access(layout.edge_list_bytes());
+        let (levels_vertices, reached) = self.trace_with_reached(g);
+
+        let mut batches = Vec::with_capacity(levels_vertices.len());
+        let mut level_info = Vec::with_capacity(levels_vertices.len());
+        let mut total_useful = 0u64;
+        let mut total_hits = 0u64;
+        for frontier in &levels_vertices {
+            let mut reqs: Vec<DeviceRequest> = Vec::new();
+            access.begin_level();
+            let mut useful = 0u64;
+            for &v in frontier {
+                let span = layout.sublist_span(v);
+                useful += span.len;
+                total_hits += access.requests_for_span(span, &mut reqs);
+            }
+            total_useful += useful;
+            level_info.push((frontier.len() as u64, useful));
+            batches.push(reqs);
+        }
+        RunPlan {
+            batches,
+            level_info,
+            total_useful,
+            total_hits,
+            reached,
+        }
+    }
+
+    /// Assemble the report from per-level shard outcomes (in level
+    /// order) and the plan's trace statistics.
+    fn assemble(&self, plan: RunPlan, outcomes: Vec<ShardOutcome>, sys: &SystemConfig) -> RunReport {
+        let levels: Vec<LevelStats> = plan
+            .level_info
+            .iter()
+            .zip(&outcomes)
+            .enumerate()
+            .map(|(depth, (&(frontier, useful), o))| LevelStats {
+                depth: depth as u32,
+                frontier,
+                useful_bytes: useful,
+                fetched_bytes: o.result.fetched_bytes,
+                runtime: o.result.end.saturating_since(SimTime::ZERO),
+            })
+            .collect();
+        let mut metrics: RunMetrics = engine::merge_shard_metrics(&outcomes);
+        metrics.useful_bytes = plan.total_useful;
+        metrics.cache_hits = plan.total_hits;
+        RunReport {
+            metrics,
+            levels,
+            reached: plan.reached,
+            workload: self.name().to_string(),
+            backend: sys.label(),
         }
     }
 
     /// Run the workload on a simulated system, producing full metrics.
+    ///
+    /// On backends whose device state quiesces at the level barrier
+    /// (DRAM, CXL — see
+    /// [`BackendConfig::quiesces_between_batches`][qb]), each level's
+    /// batch is simulated as an independent round shard across the rayon
+    /// pool and the outcomes are merged in level order — bit-identical
+    /// at any `RAYON_NUM_THREADS` *and* bit-identical to the coupled
+    /// path. Flash-backed backends (XLFDD, NVMe) carry real media state
+    /// between batches (plane page registers, busy timestamps, the
+    /// jitter RNG), so resetting it per shard would change the physics;
+    /// they stay on the coupled single-engine chain, preserving the
+    /// paper-fidelity results exactly. Either way the trace-side
+    /// parallelism (BFS frontier expansion) and the identical result at
+    /// every worker count hold.
+    ///
+    /// [qb]: crate::system::BackendConfig::quiesces_between_batches
     pub fn run(&self, g: &Csr, sys: &SystemConfig) -> RunReport {
-        let layout = EdgeListLayout::new(g);
+        if !sys.backend.quiesces_between_batches() {
+            return self.run_coupled(g, sys);
+        }
+        let plan = self.plan(g, sys);
+        let outcomes = engine::simulate_shards(|| sys.build_engine(), &plan.batches);
+        self.assemble(plan, outcomes, sys)
+    }
+
+    /// Sequential reference oracle: the identical decomposition and
+    /// merge as [`Traversal::run`] — per-level shards simulated in level
+    /// order on the calling thread for quiescent backends, the coupled
+    /// chain for flash-backed ones — with no rayon involvement in the
+    /// simulation stage. The differential harness pins `run` against
+    /// this at several pool sizes.
+    pub fn run_reference(&self, g: &Csr, sys: &SystemConfig) -> RunReport {
+        if !sys.backend.quiesces_between_batches() {
+            return self.run_coupled(g, sys);
+        }
+        let plan = self.plan(g, sys);
+        let outcomes: Vec<ShardOutcome> = plan
+            .batches
+            .iter()
+            .map(|reqs| sys.build_engine().run_shard(reqs))
+            .collect();
+        self.assemble(plan, outcomes, sys)
+    }
+
+    /// Legacy coupled execution: one engine for the whole run, each
+    /// batch starting on the clock where the previous one ended. This is
+    /// the physics oracle the shard decomposition is validated against —
+    /// for backends whose device state quiesces between batches (all but
+    /// the flash arrays with their page registers and jitter RNGs),
+    /// [`Traversal::run`] must reproduce it bit-for-bit.
+    pub fn run_coupled(&self, g: &Csr, sys: &SystemConfig) -> RunReport {
+        let plan = self.plan(g, sys);
         let mut engine = sys.build_engine();
-        let mut access = sys.build_access(layout.edge_list_bytes());
-
-        let (levels_vertices, reached) = match self.workload {
-            Workload::Bfs { source } => {
-                let t = bfs_trace(g, source);
-                let reached: u64 = t.iter().map(|l| l.len() as u64).sum();
-                (t, reached)
-            }
-            Workload::Sssp { source, max_weight } => {
-                let t = sssp_trace(g, source, max_weight);
-                let reached = sssp_reached(g, source, max_weight);
-                (t, reached)
-            }
-            Workload::PageRank { iterations } => {
-                let t = pagerank_trace(g, iterations);
-                (t, g.num_vertices() as u64)
-            }
-            Workload::ConnectedComponents => {
-                let (t, components) = cc_trace(g);
-                (t, components)
-            }
-        };
-
-        let mut levels = Vec::with_capacity(levels_vertices.len());
+        let mut levels = Vec::with_capacity(plan.batches.len());
         let mut t = SimTime::ZERO;
-        let mut reqs: Vec<DeviceRequest> = Vec::new();
-        let mut total_useful = 0u64;
-        let mut total_hits = 0u64;
-        for (depth, frontier) in levels_vertices.iter().enumerate() {
-            reqs.clear();
-            access.begin_level();
-            let mut useful = 0u64;
-            let mut hits = 0u64;
-            for &v in frontier {
-                let span = layout.sublist_span(v);
-                useful += span.len;
-                hits += access.requests_for_span(span, &mut reqs);
-            }
+        for (depth, (reqs, &(frontier, useful))) in
+            plan.batches.iter().zip(&plan.level_info).enumerate()
+        {
             let level_start = t;
-            let batch = engine.run_batch(t, &reqs);
+            let batch = engine.run_batch(t, reqs);
             t = batch.end;
             levels.push(LevelStats {
                 depth: depth as u32,
-                frontier: frontier.len() as u64,
+                frontier,
                 useful_bytes: useful,
                 fetched_bytes: batch.fetched_bytes,
                 runtime: t.saturating_since(level_start),
             });
-            total_useful += useful;
-            total_hits += hits;
         }
-
         let mut metrics: RunMetrics = engine.finish();
-        metrics.useful_bytes = total_useful;
-        metrics.cache_hits = total_hits;
+        metrics.useful_bytes = plan.total_useful;
+        metrics.cache_hits = plan.total_hits;
         metrics.runtime = t.saturating_since(SimTime::ZERO);
-
         RunReport {
             metrics,
             levels,
-            reached,
+            reached: plan.reached,
             workload: self.name().to_string(),
             backend: sys.label(),
         }
     }
 }
+
+/// Frontier size above which BFS expansion fans out across the pool.
+/// Purely a granularity knob: both paths produce the identical frontier,
+/// so the threshold can never affect results, only wall-clock.
+const PAR_FRONTIER_MIN: usize = 2048;
 
 /// Level-synchronous BFS frontier trace. Frontiers are sorted by vertex
 /// ID, matching GPU kernels that compact the frontier from status arrays.
@@ -189,9 +324,25 @@ pub fn bfs_trace(g: &Csr, source: VertexId) -> Vec<Vec<VertexId>> {
     let mut frontier = vec![source];
     let mut levels = Vec::new();
     while !frontier.is_empty() {
-        levels.push(frontier.clone());
+        let next = expand_bfs_frontier(g, &frontier, &mut visited);
+        levels.push(std::mem::replace(&mut frontier, next));
+    }
+    levels
+}
+
+/// The next BFS frontier: every unvisited neighbor of `frontier`, sorted,
+/// marked visited on return.
+///
+/// The parallel path collects candidates against the level-entry
+/// `visited` snapshot (read-only), concatenates per-chunk results in
+/// chunk order, then sorts and dedups. That set equals the sequential
+/// mark-as-you-go set exactly: a vertex is in either iff it is an
+/// unvisited neighbor of some frontier vertex, and both outputs are
+/// sorted — so the trace is byte-identical at any `RAYON_NUM_THREADS`.
+fn expand_bfs_frontier(g: &Csr, frontier: &[VertexId], visited: &mut [bool]) -> Vec<VertexId> {
+    if frontier.len() < PAR_FRONTIER_MIN {
         let mut next = Vec::new();
-        for &v in &frontier {
+        for &v in frontier {
             for &u in g.neighbors(v) {
                 if !visited[u as usize] {
                     visited[u as usize] = true;
@@ -200,14 +351,47 @@ pub fn bfs_trace(g: &Csr, source: VertexId) -> Vec<Vec<VertexId>> {
             }
         }
         next.sort_unstable();
-        frontier = next;
+        next
+    } else {
+        use rayon::prelude::*;
+        let snapshot: &[bool] = visited;
+        let mut next: Vec<VertexId> = frontier
+            .par_iter()
+            .flat_map_iter(|&v| {
+                g.neighbors(v)
+                    .iter()
+                    .copied()
+                    .filter(|&u| !snapshot[u as usize])
+            })
+            .collect();
+        next.par_sort_unstable();
+        next.dedup();
+        for &u in &next {
+            visited[u as usize] = true;
+        }
+        next
     }
-    levels
 }
 
 /// Frontier-based Bellman–Ford rounds: each round reads the sublists of
 /// vertices whose distance improved in the previous round.
 pub fn sssp_trace(g: &Csr, source: VertexId, max_weight: u32) -> Vec<Vec<VertexId>> {
+    sssp_trace_with_reached(g, source, max_weight).0
+}
+
+/// [`sssp_trace`] plus the reached-vertex count from the same pass (the
+/// final distance array is already in hand when the rounds converge, so
+/// counting costs one scan instead of a second full Bellman–Ford).
+///
+/// Rounds are Gauss–Seidel: a distance lowered early in a round feeds
+/// relaxations later in the same round, so the in-round processing order
+/// is part of the algorithm's semantics and the expansion stays
+/// sequential (see the module docs).
+pub fn sssp_trace_with_reached(
+    g: &Csr,
+    source: VertexId,
+    max_weight: u32,
+) -> (Vec<Vec<VertexId>>, u64) {
     let n = g.num_vertices();
     assert!((source as usize) < n, "source out of range");
     let mut dist = vec![u64::MAX; n];
@@ -231,32 +415,8 @@ pub fn sssp_trace(g: &Csr, source: VertexId, max_weight: u32) -> Vec<Vec<VertexI
         improved.dedup();
         frontier = improved;
     }
-    rounds
-}
-
-fn sssp_reached(g: &Csr, source: VertexId, max_weight: u32) -> u64 {
-    // Re-derive final distances to count reached vertices.
-    let n = g.num_vertices();
-    let mut dist = vec![u64::MAX; n];
-    dist[source as usize] = 0;
-    let mut frontier = vec![source];
-    while !frontier.is_empty() {
-        let mut improved = Vec::new();
-        for &v in &frontier {
-            let dv = dist[v as usize];
-            for &u in g.neighbors(v) {
-                let w = g.edge_weight(v, u, max_weight) as u64;
-                if dv + w < dist[u as usize] {
-                    dist[u as usize] = dv + w;
-                    improved.push(u);
-                }
-            }
-        }
-        improved.sort_unstable();
-        improved.dedup();
-        frontier = improved;
-    }
-    dist.iter().filter(|&&d| d != u64::MAX).count() as u64
+    let reached = dist.iter().filter(|&&d| d != u64::MAX).count() as u64;
+    (rounds, reached)
 }
 
 /// PageRank access trace: every iteration reads every (non-isolated)
@@ -298,7 +458,9 @@ pub fn pagerank_values(g: &Csr, iterations: u32) -> Vec<f64> {
 }
 
 /// Label-propagation connected components: returns the per-round frontier
-/// trace and the number of components found.
+/// trace and the number of components found. Like SSSP, rounds are
+/// Gauss–Seidel (labels lowered early in a round propagate within it),
+/// so the expansion is sequential by design.
 pub fn cc_trace(g: &Csr) -> (Vec<Vec<VertexId>>, u64) {
     let n = g.num_vertices();
     let mut label: Vec<VertexId> = (0..n as VertexId).collect();
@@ -372,6 +534,38 @@ mod tests {
     }
 
     #[test]
+    fn parallel_bfs_expansion_equals_sequential() {
+        // Force both expansion paths over the same levels and compare
+        // frontiers element-for-element. urand(12) has levels well above
+        // and below PAR_FRONTIER_MIN, so both branches are exercised.
+        let g = GraphSpec::urand(12).seed(7).build();
+        let par = bfs_trace(&g, 0);
+        let mut visited = vec![false; g.num_vertices()];
+        visited[0] = true;
+        let mut frontier = vec![0 as VertexId];
+        let mut seq_levels = Vec::new();
+        while !frontier.is_empty() {
+            seq_levels.push(frontier.clone());
+            let mut next = Vec::new();
+            for &v in &frontier {
+                for &u in g.neighbors(v) {
+                    if !visited[u as usize] {
+                        visited[u as usize] = true;
+                        next.push(u);
+                    }
+                }
+            }
+            next.sort_unstable();
+            frontier = next;
+        }
+        assert!(
+            par.iter().any(|l| l.len() >= PAR_FRONTIER_MIN),
+            "test graph never hits the parallel expansion path"
+        );
+        assert_eq!(par, seq_levels);
+    }
+
+    #[test]
     fn bfs_frontier_profile_is_hump_shaped() {
         // Table 2's pattern: tiny, growing, huge, then collapsing.
         let g = GraphSpec::urand(12).seed(1).build();
@@ -397,11 +591,14 @@ mod tests {
 
     #[test]
     fn sssp_distances_are_shortest() {
-        // On the path graph, distance to vertex k is the sum of the k
-        // edge weights along the only path.
+        // On the path graph, every vertex is reachable along the only
+        // path, and the trace pass itself now reports the count.
         let g = path_graph(6);
-        let reached = sssp_reached(&g, 0, 64);
+        let (rounds, reached) = sssp_trace_with_reached(&g, 0, 64);
         assert_eq!(reached, 6);
+        // The trace and the count come from the same pass.
+        let visited: usize = rounds.iter().map(|r| r.len()).sum();
+        assert!(visited >= 6);
     }
 
     #[test]
@@ -459,6 +656,78 @@ mod tests {
         let b = Traversal::bfs(g.max_degree_vertex().unwrap()).run(&g, &sys);
         assert_eq!(a.metrics.runtime, b.metrics.runtime);
         assert_eq!(a.metrics.fetched_bytes, b.metrics.fetched_bytes);
+    }
+
+    #[test]
+    fn sharded_run_matches_coupled_run_exactly_on_memoryless_backends() {
+        // The heart of the decomposition argument: on every backend
+        // whose device state quiesces at the level barrier (DRAM, CXL,
+        // UVM — everything but the flash arrays), the per-level shards
+        // merged in level order must reproduce the coupled single-engine
+        // run bit-for-bit — including the float fields.
+        let g = GraphSpec::kron(9).seed(11).build();
+        let src = g.max_degree_vertex().unwrap();
+        let systems = [
+            SystemConfig::emogi_on_dram(PcieGen::Gen4),
+            SystemConfig::emogi_on_cxl(PcieGen::Gen3, 5).with_added_latency_us(1.0),
+            SystemConfig::uvm_on_dram(PcieGen::Gen4),
+        ];
+        for sys in &systems {
+            for trav in [Traversal::bfs(src), Traversal::sssp(src)] {
+                let sharded = trav.run(&g, sys);
+                let coupled = trav.run_coupled(&g, sys);
+                let label = format!("{} on {}", trav.name(), sys.label());
+                assert_eq!(
+                    serde_json::to_string(&sharded).unwrap(),
+                    serde_json::to_string(&coupled).unwrap(),
+                    "sharded vs coupled diverged for {label}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flash_backed_runs_take_the_coupled_path() {
+        // Flash arrays carry real media state across batches (plane page
+        // registers, busy timestamps, the jitter RNG), so the dispatch
+        // in `run` must route XLFDD and NVMe through the coupled engine
+        // — their results stay byte-identical to the pre-shard physics
+        // the fidelity bands were validated against.
+        let g = GraphSpec::kron(9).seed(11).build();
+        let src = g.max_degree_vertex().unwrap();
+        for sys in [
+            SystemConfig::xlfdd(PcieGen::Gen4, 16),
+            SystemConfig::bam_on_nvme(PcieGen::Gen4, 4),
+        ] {
+            for trav in [Traversal::bfs(src), Traversal::sssp(src)] {
+                let run = trav.run(&g, &sys);
+                let coupled = trav.run_coupled(&g, &sys);
+                assert_eq!(
+                    serde_json::to_string(&run).unwrap(),
+                    serde_json::to_string(&coupled).unwrap(),
+                    "{} on {} left the coupled path",
+                    trav.name(),
+                    sys.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_reference_is_the_same_decomposition() {
+        let g = GraphSpec::urand(9).seed(6).build();
+        let trav = Traversal::bfs(0);
+        // The oracle mirrors the dispatch: sequential shards on a
+        // quiescent backend, the coupled chain on a flash-backed one —
+        // either way `run` must agree with it byte-for-byte.
+        for sys in [
+            SystemConfig::emogi_on_cxl(PcieGen::Gen3, 5),
+            SystemConfig::bam_on_nvme(PcieGen::Gen4, 4),
+        ] {
+            let a = serde_json::to_string(&trav.run(&g, &sys)).unwrap();
+            let b = serde_json::to_string(&trav.run_reference(&g, &sys)).unwrap();
+            assert_eq!(a, b, "{}", sys.label());
+        }
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! that contract at 1, 2, and 8 threads (an undersubscribed, matched,
 //! and oversubscribed pool for any CI machine), across a property sweep
 //! of seeds and scales.
+//!
+//! This file covers the *graph* layer only. The workspace-level suite in
+//! `tests/determinism.rs` and the differential harness in
+//! `crates/core/tests/parallel_differential.rs` extend the same contract
+//! to the parallel simulation engine and traversal (round-shard merge,
+//! `RunMetrics`, and trace bytes at any worker count).
 
 use cxlg_graph::builder::csr_from_edges;
 use cxlg_graph::gen::{kronecker, social, uniform};

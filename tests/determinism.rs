@@ -3,9 +3,10 @@
 //! parallelism, and every public config/report type must round-trip
 //! through serde.
 
-use cxl_gpu_graph::core::runner::{sweep, sweep_systems};
+use cxl_gpu_graph::core::runner::{sweep, sweep_systems, sweep_with_threads};
 use cxl_gpu_graph::core::system::SystemConfig as Sys;
 use cxl_gpu_graph::prelude::*;
+use proptest::prelude::*;
 
 #[test]
 fn full_stack_repeatability() {
@@ -80,6 +81,79 @@ fn nested_parallel_sweeps_are_stable() {
         })
     };
     assert_eq!(run_all(), run_all());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The PR 6 parallel paths — round-shard simulation in the engine and
+    /// parallel BFS frontier expansion — under the same property sweep
+    /// the graph pipeline gets: any family × scale × seed, every worker
+    /// count must yield identical `RunMetrics` *and* identical trace
+    /// bytes.
+    #[test]
+    fn parallel_engine_and_traversal_are_thread_count_invariant(
+        fam in 0u8..3,
+        scale in 7u32..11,
+        seed in 0u64..1_000_000,
+        sys_pick in 0u8..4,
+    ) {
+        let spec = match fam {
+            0 => GraphSpec::urand(scale),
+            1 => GraphSpec::kron(scale),
+            _ => GraphSpec::friendster_like(scale),
+        }
+        .seed(seed);
+        let sys = match sys_pick {
+            0 => Sys::emogi_on_dram(PcieGen::Gen4),
+            1 => Sys::emogi_on_cxl(PcieGen::Gen3, 5).with_added_latency_us(1.0),
+            2 => Sys::bam_on_nvme(PcieGen::Gen4, 4),
+            _ => Sys::xlfdd(PcieGen::Gen4, 16),
+        };
+        let observe = |threads: usize| {
+            rayon::with_num_threads(threads, || {
+                let g = spec.build();
+                let src = g.max_degree_vertex().unwrap();
+                let trace = cxl_gpu_graph::core::traversal::bfs_trace(&g, src);
+                let reports: Vec<_> = [Traversal::bfs(src), Traversal::sssp(src)]
+                    .iter()
+                    .map(|t| t.run(&g, &sys))
+                    .collect();
+                (
+                    serde_json::to_string(&trace).unwrap(),
+                    serde_json::to_string(&reports).unwrap(),
+                )
+            })
+        };
+        let reference = observe(1);
+        for threads in [2, 8] {
+            let got = observe(threads);
+            assert_eq!(got.0, reference.0, "trace bytes differ at {threads} threads");
+            assert_eq!(got.1, reference.1, "run reports differ at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn sweep_with_threads_pins_the_pool_and_preserves_results() {
+    // The campaign knob: the same sweep through an explicit pool size
+    // must match the ambient-pool run bit-for-bit, whatever the size.
+    let g = GraphSpec::kron(10).seed(3).build();
+    let src = g.max_degree_vertex().unwrap();
+    let points: Vec<f64> = vec![0.0, 0.8, 1.6, 2.4];
+    let run = |threads: usize| {
+        sweep_with_threads(threads, points.clone(), |add| {
+            let sys = Sys::emogi_on_cxl(PcieGen::Gen3, 5).with_added_latency_us(add);
+            Traversal::bfs(src).run(&g, &sys).metrics.runtime.as_ps()
+        })
+    };
+    let ambient = sweep(points.clone(), |add| {
+        let sys = Sys::emogi_on_cxl(PcieGen::Gen3, 5).with_added_latency_us(add);
+        Traversal::bfs(src).run(&g, &sys).metrics.runtime.as_ps()
+    });
+    for threads in [1, 2, 8] {
+        assert_eq!(run(threads), ambient, "sweep_with_threads({threads})");
+    }
 }
 
 #[test]
