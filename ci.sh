@@ -8,6 +8,14 @@ cd "$(dirname "$0")"
 echo "==> cargo build --release (tier-1, LTO baseline)"
 cargo build --release
 
+echo "==> cxlg lint --deny (determinism & unsafety static analysis, rules D1-D6)"
+# The cheap early gate: every workspace .rs file is checked against the
+# determinism invariants (no hash-order iteration, no wall-clock/env
+# reads in result paths, seeded RNG only, pinned float accumulation,
+# SAFETY-commented unsafe) before any simulation runs. Un-pragma'd
+# violations are red; the lint prints its wall-clock on stderr.
+cargo run --release -p cxlg-bench --bin cxlg -- lint --deny
+
 echo "==> cargo test -q (tier-1, all workspace members, 1-thread and 4-thread pools)"
 # The vendored rayon promises bit-identical results at any pool size;
 # run the whole suite at both extremes so thread-count nondeterminism

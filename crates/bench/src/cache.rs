@@ -15,7 +15,7 @@
 
 use cxlg_graph::spec::{GraphKind, GraphSpec};
 use cxlg_graph::Csr;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Manifest label uniquely identifying one built spec: dataset name plus
@@ -32,9 +32,14 @@ fn build_label(spec: &GraphSpec) -> String {
 }
 
 /// Shared, thread-safe cache of built graphs.
+///
+/// Every map in here is a `BTreeMap`: nothing currently iterates
+/// `entries`, but cache state must never be one refactor away from
+/// hash-order output (lint rule D1) — the build/eviction counts *are*
+/// iterated into the manifest and sort by label structurally.
 #[derive(Default)]
 pub struct GraphCache {
-    entries: Mutex<HashMap<GraphSpec, Arc<OnceLock<Arc<Csr>>>>>,
+    entries: Mutex<BTreeMap<GraphSpec, Arc<OnceLock<Arc<Csr>>>>>,
     builds: Mutex<BTreeMap<String, u64>>,
     evictions: Mutex<BTreeMap<String, u64>>,
 }

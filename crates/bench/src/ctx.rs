@@ -12,7 +12,7 @@ use crate::cache::GraphCache;
 use cxlg_graph::spec::GraphSpec;
 use cxlg_graph::Csr;
 use serde::{Serialize, Value};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::io::Write as _;
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
@@ -31,8 +31,9 @@ pub struct ExperimentCtx {
     cache: GraphCache,
     /// Remaining declared consumers per spec (the eviction plan); empty
     /// when no campaign plan was installed, in which case `release` is
-    /// a no-op and graphs live for the whole context.
-    remaining_consumers: Mutex<HashMap<GraphSpec, usize>>,
+    /// a no-op and graphs live for the whole context. A `BTreeMap` so
+    /// any future iteration is spec-ordered, not hash-ordered (D1).
+    remaining_consumers: Mutex<BTreeMap<GraphSpec, usize>>,
     written: Mutex<Vec<String>>,
 }
 
@@ -44,6 +45,7 @@ impl ExperimentCtx {
         Self::new(
             crate::bench_scale(),
             crate::bench_seed(),
+            // cxlg-lint: allow(D6) -- pool size is read once into ctx.threads and recorded in every result header; results are thread-count invariant by the ci.sh byte-diff gate
             rayon::current_num_threads(),
             crate::results_dir(),
         )
@@ -58,7 +60,7 @@ impl ExperimentCtx {
             threads,
             results_dir,
             cache: GraphCache::new(),
-            remaining_consumers: Mutex::new(HashMap::new()),
+            remaining_consumers: Mutex::new(BTreeMap::new()),
             written: Mutex::new(Vec::new()),
         }
     }
@@ -104,7 +106,7 @@ impl ExperimentCtx {
     /// [`Experiment::specs`](crate::experiment::Experiment::specs)).
     /// The driver computes this before the first experiment runs;
     /// replacing an existing plan resets all remaining counts.
-    pub fn plan_graph_consumers(&self, consumers: HashMap<GraphSpec, usize>) {
+    pub fn plan_graph_consumers(&self, consumers: BTreeMap<GraphSpec, usize>) {
         *self.remaining_consumers.lock().unwrap() = consumers;
     }
 
@@ -223,7 +225,7 @@ mod tests {
     fn release_evicts_only_after_the_last_declared_consumer() {
         let ctx = tmp_ctx("evict");
         let spec = ctx.paper_datasets()[0];
-        ctx.plan_graph_consumers(HashMap::from([(spec, 2)]));
+        ctx.plan_graph_consumers(BTreeMap::from([(spec, 2)]));
         let _g = ctx.graph(spec);
         assert!(!ctx.release(spec), "first of two consumers must not evict");
         assert!(ctx.graph_eviction_counts().is_empty());

@@ -31,6 +31,9 @@
 //! [`ExperimentCtx`]: crate::ctx::ExperimentCtx
 //! [`GraphCache`]: crate::cache::GraphCache
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod cli;
 pub mod ctx;

@@ -55,6 +55,10 @@ fn ru_maxrss_kb() -> Option<u64> {
     // The full struct is 16 longs beyond the timevals; round up generously.
     let mut rusage = [0i64; 36];
     let ret: i64;
+    // SAFETY: SYS_getrusage only writes within the caller-provided
+    // buffer; `rusage` is a live, 288-byte stack array comfortably
+    // larger than the 144-byte kernel struct, and the asm clobbers
+    // (rcx/r11) are exactly the registers the syscall ABI tramples.
     unsafe {
         std::arch::asm!(
             "syscall",

@@ -23,6 +23,9 @@
 //! Multi-device configurations (5 CXL expanders, 16 XLFDD drives, 4 SSDs)
 //! are assembled with [`interleave::Interleave`] address routing.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod cxl_mem;
 pub mod dram;
 pub mod flash;

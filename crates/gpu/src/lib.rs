@@ -20,6 +20,9 @@
 //!   zero-copy access supersedes (Related Work, §6);
 //! * [`warp`] — warp pool bookkeeping for the DES driver.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod bar;
 pub mod coalesce;
 pub mod config;

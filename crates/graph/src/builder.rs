@@ -53,7 +53,14 @@ pub fn unpack_arc(key: u64) -> (VertexId, VertexId) {
 /// the slot discipline, not the type: every write lands at a distinct
 /// index handed out by an atomic cursor.
 struct ScatterPtr(*mut VertexId);
+// SAFETY: the pointer is only written through inside pass 2's scatter,
+// where every slot index comes from an atomic fetch_add hand-out — two
+// threads can never receive the same index, so concurrent `*base.add(slot)`
+// writes are to disjoint locations and sharing the base across threads
+// (Send) and by reference (Sync) is sound.
 unsafe impl Send for ScatterPtr {}
+// SAFETY: see the Send argument above — all concurrent access is
+// write-only to disjoint, bounds-checked indices of one live Vec.
 unsafe impl Sync for ScatterPtr {}
 
 /// Build a CSR with `n` vertices from a **regenerable arc stream** — the

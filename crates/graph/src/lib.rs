@@ -18,6 +18,8 @@
 //! that byte math, including the alignment arithmetic behind the paper's
 //! read-amplification analysis (§3.1).
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod csr;
 pub mod gen;

@@ -8,7 +8,11 @@ use crate::gen;
 use serde::{Deserialize, Serialize};
 
 /// Which synthetic dataset family to generate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Ord` is derived (variant order, then parameter) so specs can key
+/// `BTreeMap`s: campaign bookkeeping must iterate in a structural
+/// order, never in hash order (lint rule D1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum GraphKind {
     /// Uniform random graph (paper: `urand27`, avg degree 32).
     Uniform {
@@ -29,7 +33,11 @@ pub enum GraphKind {
 }
 
 /// A reproducible graph description.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Ordered (kind, then scale, then seed) for the same reason as
+/// [`GraphKind`]: `BTreeMap<GraphSpec, _>` gives campaign bookkeeping a
+/// deterministic iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct GraphSpec {
     /// Dataset family and its degree parameter.
     pub kind: GraphKind,

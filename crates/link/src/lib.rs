@@ -17,6 +17,9 @@
 //!   attached to the far socket incur an extra inter-CPU hop (visible in
 //!   the latency measurements of Figure 9).
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod cxl;
 pub mod pcie;
 pub mod topology;

@@ -1,0 +1,61 @@
+//! Standalone `cxlg-lint` binary.
+//!
+//! ```text
+//! cxlg-lint [--root=DIR] [--json] [--deny] [FILES…]
+//! ```
+//!
+//! Lints the workspace under `--root` (default: current directory), or
+//! an explicit list of root-relative files. The report goes to stdout
+//! (text by default, `--json` for the machine-readable form). With
+//! `--deny`, any unsuppressed finding — including malformed pragmas —
+//! exits 1; without it the exit code is always 0 and the report is
+//! informational. `cxlg lint` (the campaign driver subcommand) wraps
+//! the same library entry points and additionally reports wall-clock.
+
+use std::path::PathBuf;
+
+fn main() {
+    // cxlg-lint: allow(D6) -- CLI argument intake; nothing here feeds results
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut deny = false;
+    let mut files: Vec<String> = Vec::new();
+    for a in &args {
+        if let Some(dir) = a.strip_prefix("--root=") {
+            root = PathBuf::from(dir);
+        } else if a == "--json" {
+            json = true;
+        } else if a == "--deny" {
+            deny = true;
+        } else if a == "--help" || a == "-h" {
+            println!("usage: cxlg-lint [--root=DIR] [--json] [--deny] [FILES...]");
+            return;
+        } else if a.starts_with('-') {
+            eprintln!("cxlg-lint: unknown option `{a}`");
+            std::process::exit(2);
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let run = if files.is_empty() {
+        cxlg_lint::run_workspace(&root)
+    } else {
+        cxlg_lint::run_files(&root, &files)
+    };
+    let run = match run {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cxlg-lint: {e}");
+            std::process::exit(2);
+        }
+    };
+    if json {
+        println!("{}", run.render_json());
+    } else {
+        print!("{}", run.render_text());
+    }
+    if deny && run.active().count() > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,396 @@
+//! A minimal Rust lexer: just enough token structure for rule matching.
+//!
+//! The vendor set has no `syn`, so the linter carries its own scanner.
+//! It does **not** parse Rust — it produces a flat token stream plus the
+//! comment list, with everything the rules must never trip over stripped
+//! at this layer:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments;
+//! * string literals with escapes, raw strings `r"…"` / `r#"…"#` with
+//!   any number of `#`s, byte and byte-raw strings;
+//! * char literals (including `'\''`) vs. lifetimes (`'a`);
+//! * numeric literals with separators, suffixes and exponents.
+//!
+//! A `HashMap` inside a doc comment or a format string is therefore
+//! invisible to every rule; only code tokens count.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `for`, `unsafe`, …).
+    Ident,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String, raw-string, byte-string or char literal (text is the
+    /// literal's *contents*, never matched by rules).
+    Str,
+    /// Numeric literal, suffix included (`0.0f64`, `0x5EED`, `1_000`).
+    Num,
+    /// Lifetime (`'a`), kept only so surrounding tokens stay adjacent.
+    Lifetime,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// The lexeme text (for [`TokKind::Punct`], a single character).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// Lexeme class.
+    pub kind: TokKind,
+}
+
+/// One comment (line or block) with its source position.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (differs for block comments).
+    pub end_line: u32,
+}
+
+/// The output of [`lex`]: the code token stream and the comments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lex `source` into tokens and comments. Never fails: unterminated
+/// literals or comments simply consume the rest of the input, which is
+/// the forgiving behaviour a linter wants on mid-edit files.
+pub fn lex(source: &str) -> Lexed {
+    let b = source.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: source[start..i].to_string(),
+                    line,
+                    end_line: line,
+                });
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1u32;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: source[start..end].to_string(),
+                    line: start_line,
+                    end_line: line,
+                });
+            }
+            b'"' => {
+                let (consumed, text) = scan_string(&source[i..]);
+                out.tokens.push(Tok {
+                    text,
+                    line,
+                    kind: TokKind::Str,
+                });
+                line += source[i..i + consumed].matches('\n').count() as u32;
+                i += consumed;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(&source[i..]) => {
+                let (consumed, nl, text) = scan_raw_or_byte(&source[i..]);
+                out.tokens.push(Tok {
+                    text,
+                    line,
+                    kind: TokKind::Str,
+                });
+                i += consumed;
+                line += nl;
+            }
+            b'\'' => {
+                let (consumed, kind, text) = scan_quote(&source[i..]);
+                out.tokens.push(Tok { text, line, kind });
+                i += consumed;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                i += 1;
+                while i < b.len()
+                    && (b[i].is_ascii_alphanumeric()
+                        || b[i] == b'_'
+                        || b[i] == b'.'
+                        // Exponent sign: `1e-3` / `1E+3`.
+                        || ((b[i] == b'+' || b[i] == b'-')
+                            && matches!(b[i - 1], b'e' | b'E')
+                            && !source[start..i].starts_with("0x")))
+                {
+                    // A second `.` (range `0..n`) or `.` followed by a
+                    // non-digit/non-suffix (`0.max(x)`) ends the number.
+                    if b[i] == b'.'
+                        && (source[start..i].contains('.')
+                            || !b.get(i + 1).is_some_and(|d| d.is_ascii_digit()))
+                    {
+                        break;
+                    }
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    text: source[start..i].to_string(),
+                    line,
+                    kind: TokKind::Num,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.tokens.push(Tok {
+                    text: source[start..i].to_string(),
+                    line,
+                    kind: TokKind::Ident,
+                });
+            }
+            _ => {
+                out.tokens.push(Tok {
+                    text: (c as char).to_string(),
+                    line,
+                    kind: TokKind::Punct,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Scan the `"…"` string starting at `s[0] == '"'`; returns (consumed
+/// bytes including both quotes, contents).
+fn scan_string(s: &str) -> (usize, String) {
+    let b = s.as_bytes();
+    let mut i = 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return (i + 1, s[1..i].to_string()),
+            _ => i += 1,
+        }
+    }
+    (b.len(), s[1..].to_string())
+}
+
+/// Does `s` start a raw string (`r"`, `r#`), byte string (`b"`) or
+/// byte-raw string (`br"`, `br#`)? Plain identifiers starting with
+/// `r`/`b` fall through to ident lexing.
+fn starts_raw_or_byte_string(s: &str) -> bool {
+    let b = s.as_bytes();
+    match b[0] {
+        b'r' => matches!(b.get(1), Some(b'"') | Some(b'#')),
+        b'b' => match b.get(1) {
+            Some(b'"') => true,
+            Some(b'r') => matches!(b.get(2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Scan a raw/byte/byte-raw string; returns (consumed bytes, newlines,
+/// contents).
+fn scan_raw_or_byte(s: &str) -> (usize, u32, String) {
+    let b = s.as_bytes();
+    let mut i = 0;
+    if b[i] == b'b' {
+        i += 1;
+    }
+    let raw = b.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        // `r#ident` (raw identifier) — re-lex as ident from scratch.
+        let mut j = 0;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'#') {
+            j += 1;
+        }
+        return (j.max(1), 0, String::new());
+    }
+    i += 1;
+    let start = i;
+    let mut nl = 0u32;
+    while i < b.len() {
+        if !raw && b[i] == b'\\' {
+            i += 2;
+            continue;
+        }
+        if b[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return (i + 1 + hashes, nl, s[start..i].to_string());
+            }
+        }
+        if b[i] == b'\n' {
+            nl += 1;
+        }
+        i += 1;
+    }
+    (b.len(), nl, s[start..].to_string())
+}
+
+/// Scan from a `'`: either a char literal (`'a'`, `'\n'`, `'\''`) or a
+/// lifetime (`'a`, `'static`).
+fn scan_quote(s: &str) -> (usize, TokKind, String) {
+    let b = s.as_bytes();
+    // Escape ⇒ always a char literal.
+    if b.get(1) == Some(&b'\\') {
+        let mut i = 3; // past `'\x`
+        while i < b.len() && b[i] != b'\'' {
+            i += 1;
+        }
+        return (i + 1, TokKind::Str, s[1..i.min(s.len())].to_string());
+    }
+    // `'x'` (closing quote right after one char) ⇒ char literal.
+    if b.len() >= 3 && b[2] == b'\'' && b[1] != b'\'' {
+        return (3, TokKind::Str, s[1..2].to_string());
+    }
+    // Otherwise a lifetime: consume `'` + ident.
+    let mut i = 1;
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    (i.max(1), TokKind::Lifetime, s[..i].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_their_contents() {
+        let src = r##"
+// HashMap in a line comment
+/* HashMap in a /* nested */ block */
+let s = "HashMap::new()";
+let r = r#"Instant::now()"#;
+let real = 1;
+"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"Instant".to_string()), "{ids:?}");
+        assert!(ids.contains(&"real".to_string()));
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].text.contains("HashMap"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let lx = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Str)
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "x");
+    }
+
+    #[test]
+    fn escaped_quote_char_literal() {
+        let lx = lex(r"let q = '\''; let n = '\n'; done");
+        assert!(lx.tokens.iter().any(|t| t.text == "done"));
+    }
+
+    #[test]
+    fn numbers_with_suffixes_and_separators() {
+        let lx = lex("let a = 0.0f64; let b = 0x5EED; let c = 1_000; let d = 1e-3;");
+        let nums: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0.0f64", "0x5EED", "1_000", "1e-3"]);
+    }
+
+    #[test]
+    fn range_dots_do_not_glue_to_numbers() {
+        let lx = lex("for i in 0..10 {}");
+        let nums: Vec<_> = lx
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10"]);
+    }
+
+    #[test]
+    fn line_numbers_are_one_based_and_advance() {
+        let lx = lex("a\nb\n\"two\nline\"\nc");
+        let a = &lx.tokens[0];
+        assert_eq!((a.text.as_str(), a.line), ("a", 1));
+        let c = lx.tokens.last().unwrap();
+        assert_eq!((c.text.as_str(), c.line), ("c", 5));
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings() {
+        let lx = lex(r###"let a = b"SystemTime"; let b = br#"thread_rng"#; end"###);
+        assert!(lx.tokens.iter().any(|t| t.text == "end"));
+        assert!(!lx
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && (t.text == "SystemTime" || t.text == "thread_rng")));
+    }
+}

@@ -1,0 +1,137 @@
+//! The lint's escape hatch: `// cxlg-lint: allow(<rules>) -- <reason>`.
+//!
+//! A pragma suppresses matching findings on its own line (trailing
+//! comment) or on the line directly below (comment-above style). The
+//! reason after `--` is **mandatory** and lands verbatim in the report's
+//! SUPPRESSED section, so every escape is a written, reviewable
+//! decision — an allow without a reason, or naming an unknown rule, is
+//! itself a `P0` finding that no pragma can excuse.
+
+use crate::lexer::Comment;
+use crate::rules::{Finding, RULE_IDS};
+
+/// One parsed allow pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Line the pragma comment starts on.
+    pub line: u32,
+    /// Line the pragma covers in comment-above style (`line + 1`).
+    pub applies_to: u32,
+    /// Rule ids being allowed (validated against [`RULE_IDS`]).
+    pub rules: Vec<String>,
+    /// The mandatory justification after `--`.
+    pub reason: String,
+}
+
+/// Scan `comments` for pragmas. Returns the well-formed pragmas plus
+/// `P0` findings for malformed ones.
+pub fn parse_pragmas(path: &str, comments: &[Comment]) -> (Vec<Pragma>, Vec<Finding>) {
+    let mut pragmas = Vec::new();
+    let mut findings = Vec::new();
+    for c in comments {
+        let Some(rest) = c.text.trim().strip_prefix("cxlg-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let mut bad = |message: String| {
+            findings.push(Finding {
+                rule: "P0",
+                path: path.to_string(),
+                line: c.line,
+                message,
+                suppressed: None,
+            });
+        };
+        let Some(rest) = rest.strip_prefix("allow") else {
+            bad(format!("unknown cxlg-lint directive `{rest}` (expected `allow(<rules>) -- <reason>`)"));
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(close) = rest.find(')') else {
+            bad("malformed allow pragma: missing `(<rules>)`".to_string());
+            continue;
+        };
+        let Some(inner) = rest[..close].strip_prefix('(') else {
+            bad("malformed allow pragma: missing `(<rules>)`".to_string());
+            continue;
+        };
+        let rules: Vec<String> = inner
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() {
+            bad("allow pragma names no rules".to_string());
+            continue;
+        }
+        if let Some(unknown) = rules.iter().find(|r| !RULE_IDS.contains(&r.as_str())) {
+            bad(format!("allow pragma names unknown rule `{unknown}`"));
+            continue;
+        }
+        if rules.iter().any(|r| r == "P0") {
+            bad("`P0` (malformed pragma) cannot be allowed away".to_string());
+            continue;
+        }
+        let tail = rest[close + 1..].trim();
+        let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            bad(format!(
+                "allow({}) carries no reason; write `-- <why this is deterministic/safe>`",
+                rules.join(", ")
+            ));
+            continue;
+        }
+        pragmas.push(Pragma {
+            line: c.line,
+            applies_to: c.end_line + 1,
+            rules,
+            reason: reason.to_string(),
+        });
+    }
+    (pragmas, findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> (Vec<Pragma>, Vec<Finding>) {
+        parse_pragmas("crates/x/src/f.rs", &lex(src).comments)
+    }
+
+    #[test]
+    fn well_formed_pragma_parses() {
+        let (p, f) = parse("// cxlg-lint: allow(D1, D4) -- sorted before output");
+        assert!(f.is_empty());
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].rules, vec!["D1", "D4"]);
+        assert_eq!(p[0].reason, "sorted before output");
+        assert_eq!(p[0].applies_to, 2);
+    }
+
+    #[test]
+    fn missing_reason_unknown_rule_and_p0_are_findings() {
+        for src in [
+            "// cxlg-lint: allow(D1)",
+            "// cxlg-lint: allow(D1) -- ",
+            "// cxlg-lint: allow(D9) -- nope",
+            "// cxlg-lint: allow(P0) -- nope",
+            "// cxlg-lint: allow -- nope",
+            "// cxlg-lint: deny(D1)",
+            "// cxlg-lint: allow() -- empty",
+        ] {
+            let (p, f) = parse(src);
+            assert!(p.is_empty(), "{src}");
+            assert_eq!(f.len(), 1, "{src}");
+            assert_eq!(f[0].rule, "P0", "{src}");
+        }
+    }
+
+    #[test]
+    fn ordinary_comments_are_not_pragmas() {
+        let (p, f) = parse("// cxlg-lint is documented in DESIGN.md\n// allow(D1)");
+        assert!(p.is_empty());
+        assert!(f.is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Byte-stable report rendering: human text and machine-readable JSON.
+//!
+//! Findings arrive pre-sorted per file; the report sorts across files
+//! by `(path, line, rule)` so two runs over the same tree render
+//! byte-identical output — the golden test in
+//! `crates/lint/tests/golden_workspace.rs` pins the real workspace's
+//! report. Wall-clock and other host-dependent values never appear
+//! here (the `cxlg lint` subcommand prints timing to stderr instead):
+//! the report itself must satisfy the invariants it enforces.
+
+use crate::rules::{rule_label, Finding, RULE_IDS};
+use serde::Value;
+
+/// A whole lint run: every finding plus the scanned-file count.
+#[derive(Debug, Default)]
+pub struct LintRun {
+    /// All findings, suppressed ones included.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintRun {
+    /// Findings no pragma excused — what `--deny` gates on.
+    pub fn active(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_none())
+    }
+
+    /// Pragma-suppressed findings (each carries its written reason).
+    pub fn suppressed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.suppressed.is_some())
+    }
+
+    /// Sort findings into the report's stable order.
+    pub fn finalize(&mut self) {
+        self.findings
+            .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    }
+
+    /// Render the human report (byte-stable for a given tree).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("cxlg-lint — workspace determinism & unsafety report\n");
+        out.push_str("===================================================\n\n");
+        out.push_str("rules:");
+        for id in RULE_IDS {
+            out.push_str(&format!(" {id}={}", rule_label(id).replace(' ', "-")));
+        }
+        out.push_str("\n\n");
+        let active: Vec<&Finding> = self.active().collect();
+        out.push_str(&format!("FINDINGS ({}):\n", active.len()));
+        for f in &active {
+            out.push_str(&format!("  {}:{} [{}] {}\n", f.path, f.line, f.rule, f.message));
+        }
+        let suppressed: Vec<&Finding> = self.suppressed().collect();
+        out.push_str(&format!("\nSUPPRESSED ({}):\n", suppressed.len()));
+        for f in &suppressed {
+            out.push_str(&format!(
+                "  {}:{} [{}] allow -- {}\n",
+                f.path,
+                f.line,
+                f.rule,
+                f.suppressed.as_deref().unwrap_or("")
+            ));
+        }
+        out.push_str(&format!(
+            "\nsummary: files={} findings={} suppressed={}\n",
+            self.files_scanned,
+            active.len(),
+            suppressed.len()
+        ));
+        out
+    }
+
+    /// Render the machine-readable JSON report (same content and
+    /// ordering as the text form).
+    pub fn render_json(&self) -> String {
+        let finding_value = |f: &Finding| {
+            let mut m = vec![
+                ("path".to_string(), Value::Str(f.path.clone())),
+                ("line".to_string(), Value::U64(f.line as u64)),
+                ("rule".to_string(), Value::Str(f.rule.to_string())),
+                ("message".to_string(), Value::Str(f.message.clone())),
+            ];
+            if let Some(reason) = &f.suppressed {
+                m.push(("suppressed_reason".to_string(), Value::Str(reason.clone())));
+            }
+            Value::Map(m)
+        };
+        let v = Value::Map(vec![
+            (
+                "files_scanned".to_string(),
+                Value::U64(self.files_scanned as u64),
+            ),
+            (
+                "findings".to_string(),
+                Value::Array(self.active().map(finding_value).collect()),
+            ),
+            (
+                "suppressed".to_string(),
+                Value::Array(self.suppressed().map(finding_value).collect()),
+            ),
+        ]);
+        serde_json::to_string_pretty(&v).expect("serialize lint report")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LintRun {
+        let mut run = LintRun {
+            findings: vec![
+                Finding {
+                    rule: "D2",
+                    path: "crates/b/src/z.rs".to_string(),
+                    line: 9,
+                    message: "wall clock".to_string(),
+                    suppressed: None,
+                },
+                Finding {
+                    rule: "D1",
+                    path: "crates/a/src/x.rs".to_string(),
+                    line: 3,
+                    message: "hash iter".to_string(),
+                    suppressed: Some("sorted downstream".to_string()),
+                },
+            ],
+            files_scanned: 2,
+        };
+        run.finalize();
+        run
+    }
+
+    #[test]
+    fn text_report_is_stable_and_sectioned() {
+        let run = sample();
+        let a = run.render_text();
+        assert_eq!(a, run.render_text(), "two renders must be byte-identical");
+        assert!(a.contains("FINDINGS (1):"));
+        assert!(a.contains("crates/b/src/z.rs:9 [D2] wall clock"));
+        assert!(a.contains("SUPPRESSED (1):"));
+        assert!(a.contains("allow -- sorted downstream"));
+        assert!(a.contains("summary: files=2 findings=1 suppressed=1"));
+    }
+
+    #[test]
+    fn json_report_carries_reasons() {
+        let j = sample().render_json();
+        assert!(j.contains("\"suppressed_reason\": \"sorted downstream\""), "{j}");
+        assert!(j.contains("\"files_scanned\": 2"), "{j}");
+    }
+
+    #[test]
+    fn findings_sort_by_path_then_line_then_rule() {
+        let run = sample();
+        assert_eq!(run.findings[0].path, "crates/a/src/x.rs");
+        assert_eq!(run.findings[1].path, "crates/b/src/z.rs");
+    }
+}

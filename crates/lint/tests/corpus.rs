@@ -1,0 +1,173 @@
+//! Rule-by-rule corpus: every rule is proven by a must-flag fixture and
+//! a must-pass fixture under `tests/corpus/` (which the workspace
+//! walker deliberately skips — fixtures are *inputs* to the lint, not
+//! workspace source).
+//!
+//! Fixtures are analyzed under a synthetic `crates/demo/src/lib.rs`
+//! path so the source-context rules apply (the real path of a fixture,
+//! `…/tests/corpus/…`, would classify as test context and mute
+//! `D1`–`D4`/`D6`).
+
+use cxlg_lint::rules::{analyze_source, Finding};
+
+/// Analyze a corpus fixture as if it were ordinary crate source.
+fn lint_fixture(name: &str) -> Vec<Finding> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/corpus")
+        .join(name);
+    let source = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    analyze_source("crates/demo/src/lib.rs", &source)
+}
+
+fn active<'a>(fs: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    fs.iter()
+        .filter(|f| f.rule == rule && f.suppressed.is_none())
+        .collect()
+}
+
+#[test]
+fn d1_flag_fixture_is_caught() {
+    let fs = lint_fixture("d1_flag.rs");
+    let d1 = active(&fs, "D1");
+    assert_eq!(d1.len(), 2, "chained .keys() and for-loop: {fs:?}");
+    assert!(d1[0].message.contains("keys"), "{}", d1[0].message);
+    assert!(d1[1].message.contains("for"), "{}", d1[1].message);
+}
+
+#[test]
+fn d1_pass_fixture_is_clean() {
+    let fs = lint_fixture("d1_pass.rs");
+    assert!(fs.is_empty(), "keyed lookup / BTreeMap / test module: {fs:?}");
+}
+
+#[test]
+fn d2_flag_fixture_is_caught() {
+    let fs = lint_fixture("d2_flag.rs");
+    // Instant::now once; the SystemTime *type* is banned wherever it
+    // appears (import, return type, ::now), because any SystemTime
+    // value is a wall-clock read.
+    assert_eq!(active(&fs, "D2").len(), 4, "{fs:?}");
+}
+
+#[test]
+fn d2_pass_fixture_is_clean_with_one_justified_escape() {
+    let fs = lint_fixture("d2_pass.rs");
+    assert!(active(&fs, "D2").is_empty(), "{fs:?}");
+    let suppressed: Vec<_> = fs.iter().filter(|f| f.suppressed.is_some()).collect();
+    assert_eq!(suppressed.len(), 1);
+    assert!(
+        suppressed[0]
+            .suppressed
+            .as_deref()
+            .unwrap()
+            .contains("progress display"),
+        "reason must travel with the suppression"
+    );
+}
+
+#[test]
+fn d3_flag_fixture_is_caught() {
+    let fs = lint_fixture("d3_flag.rs");
+    assert_eq!(active(&fs, "D3").len(), 2, "thread_rng + from_entropy: {fs:?}");
+}
+
+#[test]
+fn d3_pass_fixture_is_clean() {
+    let fs = lint_fixture("d3_pass.rs");
+    assert!(fs.is_empty(), "seeded construction only: {fs:?}");
+}
+
+#[test]
+fn d4_flag_fixture_is_caught() {
+    let fs = lint_fixture("d4_flag.rs");
+    assert_eq!(
+        active(&fs, "D4").len(),
+        3,
+        "`+=` fold, turbofish sum, annotated sum: {fs:?}"
+    );
+}
+
+#[test]
+fn d4_pass_fixture_is_clean_with_one_justified_escape() {
+    let fs = lint_fixture("d4_pass.rs");
+    assert!(active(&fs, "D4").is_empty(), "{fs:?}");
+    assert_eq!(fs.iter().filter(|f| f.suppressed.is_some()).count(), 1);
+}
+
+#[test]
+fn d5_flag_fixture_is_caught() {
+    let fs = lint_fixture("d5_flag.rs");
+    assert_eq!(
+        active(&fs, "D5").len(),
+        2,
+        "bare unsafe impl + bare unsafe block: {fs:?}"
+    );
+}
+
+#[test]
+fn d5_pass_fixture_is_clean() {
+    let fs = lint_fixture("d5_pass.rs");
+    assert!(fs.is_empty(), "SAFETY-commented unsafe: {fs:?}");
+}
+
+#[test]
+fn d5_applies_even_in_test_context_paths() {
+    // D5 is the one rule test context does not mute: re-analyze the
+    // flag fixture under a tests/ path and it must still flag.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/d5_flag.rs");
+    let source = std::fs::read_to_string(path).unwrap();
+    let fs = analyze_source("crates/demo/tests/t.rs", &source);
+    assert_eq!(active(&fs, "D5").len(), 2, "{fs:?}");
+}
+
+#[test]
+fn d6_flag_fixture_is_caught() {
+    let fs = lint_fixture("d6_flag.rs");
+    assert_eq!(
+        active(&fs, "D6").len(),
+        3,
+        "env::var + available_parallelism + current_num_threads: {fs:?}"
+    );
+}
+
+#[test]
+fn d6_pass_fixture_is_clean() {
+    let fs = lint_fixture("d6_pass.rs");
+    assert!(fs.is_empty(), "ctx-threaded configuration: {fs:?}");
+}
+
+#[test]
+fn well_formed_pragma_suppresses_and_keeps_its_reason() {
+    let fs = lint_fixture("pragma_ok.rs");
+    assert!(
+        fs.iter().all(|f| f.suppressed.is_some()),
+        "no active findings: {fs:?}"
+    );
+    assert_eq!(fs.len(), 1);
+    assert!(fs[0].suppressed.as_deref().unwrap().contains("byte-diff gate"));
+}
+
+#[test]
+fn pragma_without_reason_is_p0_and_does_not_suppress() {
+    let fs = lint_fixture("pragma_missing_reason.rs");
+    assert_eq!(active(&fs, "P0").len(), 1, "{fs:?}");
+    assert_eq!(
+        active(&fs, "D6").len(),
+        1,
+        "the underlying finding must stay active: {fs:?}"
+    );
+}
+
+#[test]
+fn every_rule_has_flag_and_pass_coverage() {
+    // Self-check on the corpus itself: a fixture pair exists on disk
+    // for each D rule, so a future rule can't land without one.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    for rule in ["d1", "d2", "d3", "d4", "d5", "d6"] {
+        for kind in ["flag", "pass"] {
+            let f = dir.join(format!("{rule}_{kind}.rs"));
+            assert!(f.exists(), "missing corpus fixture {}", f.display());
+        }
+    }
+}

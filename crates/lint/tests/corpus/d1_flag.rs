@@ -1,0 +1,26 @@
+// Must-flag: D1 — observing hash order.
+use std::collections::{HashMap, HashSet};
+
+struct Registry {
+    by_name: HashMap<String, u32>,
+}
+
+impl Registry {
+    // Chained iteration on a hash-typed field: flagged.
+    fn names(&self) -> Vec<String> {
+        self.by_name.keys().cloned().collect()
+    }
+}
+
+fn dedup(ids: &[u32]) -> Vec<u32> {
+    let mut seen = HashSet::new();
+    for id in ids {
+        seen.insert(*id);
+    }
+    let mut out = Vec::new();
+    // Direct `for … in` over a hash set: flagged.
+    for id in &seen {
+        out.push(*id);
+    }
+    out
+}

@@ -1,0 +1,36 @@
+// Must-pass: D1 — keyed HashMap lookup is fine; ordering comes from a
+// BTreeMap or a sort.
+use std::collections::{BTreeMap, HashMap};
+
+struct Registry {
+    by_name: HashMap<String, u32>,
+    ordered: BTreeMap<String, u32>,
+}
+
+impl Registry {
+    // Keyed operations never observe hash order.
+    fn lookup(&self, name: &str) -> Option<u32> {
+        self.by_name.get(name).copied()
+    }
+
+    // BTreeMap iteration is deterministic by construction.
+    fn names(&self) -> Vec<String> {
+        self.ordered.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    // Test context: hash iteration is allowed because nothing a test
+    // prints lands in result JSON.
+    #[test]
+    fn hash_iteration_is_fine_here() {
+        let mut s = HashSet::new();
+        s.insert(1u32);
+        for v in &s {
+            let _ = v;
+        }
+    }
+}

@@ -1,0 +1,12 @@
+// Must-flag: D2 — wall-clock reads outside core::runner / core::mem.
+use std::time::{Instant, SystemTime};
+
+fn measure<F: FnOnce()>(f: F) -> f64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_secs_f64()
+}
+
+fn stamp() -> SystemTime {
+    SystemTime::now()
+}

@@ -1,0 +1,14 @@
+// Must-pass: D2 — simulated time only; any telemetry wall-clock is
+// pragma'd with its reason.
+fn simulate(mut now_ps: u64, step_ps: u64, steps: u64) -> u64 {
+    for _ in 0..steps {
+        now_ps += step_ps;
+    }
+    now_ps
+}
+
+fn progress_line(done: usize, total: usize) {
+    // cxlg-lint: allow(D2) -- operator progress display only; never serialized into results
+    let t = std::time::Instant::now();
+    eprintln!("[{done}/{total}] at {:?}", t);
+}

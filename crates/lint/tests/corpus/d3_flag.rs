@@ -1,0 +1,13 @@
+// Must-flag: D3 — RNG constructed from ambient entropy.
+fn shuffle_ids(ids: &mut Vec<u32>) {
+    let mut rng = rand::thread_rng();
+    for i in (1..ids.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+}
+
+fn fresh_seed() -> u64 {
+    let mut rng = rand::rngs::StdRng::from_entropy();
+    rng.gen()
+}

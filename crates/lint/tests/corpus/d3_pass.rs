@@ -1,0 +1,13 @@
+// Must-pass: D3 — every stream derives from an explicit seed, so runs
+// are reproducible from the printed configuration.
+fn shuffle_ids(ids: &mut Vec<u32>, seed: u64) {
+    let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+    for i in (1..ids.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        ids.swap(i, j);
+    }
+}
+
+fn per_vertex_stream(seed: u64, vertex: u64) -> Xoshiro256StarStar {
+    Xoshiro256StarStar::seed_from_u64(seed ^ vertex.wrapping_mul(0x9E3779B97F4A7C15))
+}

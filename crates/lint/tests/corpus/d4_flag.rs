@@ -1,0 +1,17 @@
+// Must-flag: D4 — float accumulation outside the approved helpers.
+fn mean(xs: &[f64]) -> f64 {
+    let mut acc: f64 = 0.0;
+    for x in xs {
+        acc += *x;
+    }
+    acc / xs.len() as f64
+}
+
+fn total(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>()
+}
+
+fn annotated_total(xs: &[f64]) -> f64 {
+    let t: f64 = xs.iter().copied().sum();
+    t
+}

@@ -1,0 +1,18 @@
+// Must-pass: D4 — integer accumulation is exact and order-free; a
+// pinned-order float fold carries a pragma with its argument.
+fn total_bytes(sizes: &[u64]) -> u64 {
+    let mut acc = 0u64;
+    for s in sizes {
+        acc += *s;
+    }
+    acc + sizes.iter().sum::<u64>()
+}
+
+fn dangling_mass(rank: &[f64], dangling: &[u32]) -> f64 {
+    let mut mass: f64 = 0.0;
+    for &v in dangling {
+        // cxlg-lint: allow(D4) -- sequential fold in fixed vertex order; order is structural
+        mass += rank[v as usize];
+    }
+    mass
+}

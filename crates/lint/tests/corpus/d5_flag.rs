@@ -1,0 +1,10 @@
+// Must-flag: D5 — unsafe without a written safety argument.
+struct ScatterPtr(*mut u64);
+
+unsafe impl Send for ScatterPtr {}
+
+fn write_slot(p: &ScatterPtr, idx: usize, val: u64) {
+    unsafe {
+        *p.0.add(idx) = val;
+    }
+}

@@ -1,0 +1,21 @@
+// Must-pass: D5 — every unsafe block/impl carries its SAFETY argument;
+// `unsafe fn` declarations shift the obligation to callers.
+struct ScatterPtr(*mut u64);
+
+// SAFETY: every writer receives a disjoint slot index from an atomic
+// fetch_add, so no two threads ever write the same element; the buffer
+// outlives the scope that hands out slots.
+unsafe impl Send for ScatterPtr {}
+
+fn write_slot(p: &ScatterPtr, idx: usize, val: u64) {
+    // SAFETY: idx came from the slot allocator, which never exceeds the
+    // buffer length established at construction.
+    unsafe {
+        *p.0.add(idx) = val;
+    }
+}
+
+unsafe fn unchecked_get(xs: &[u64], i: usize) -> u64 {
+    // SAFETY: caller contract — i < xs.len().
+    unsafe { *xs.get_unchecked(i) }
+}

@@ -1,0 +1,17 @@
+// Must-flag: D6 — output depending on the host environment.
+fn scale_from_env() -> u32 {
+    std::env::var("CXLG_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
+}
+
+fn shard_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn pool_width() -> usize {
+    rayon::current_num_threads()
+}

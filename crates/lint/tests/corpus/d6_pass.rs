@@ -1,0 +1,14 @@
+// Must-pass: D6 — configuration flows in through parameters (the real
+// code routes it through ExperimentCtx); nothing probes the host.
+struct Ctx {
+    scale: u32,
+    threads: usize,
+}
+
+fn shard_count(ctx: &Ctx) -> usize {
+    ctx.threads
+}
+
+fn vertices(ctx: &Ctx) -> u64 {
+    1u64 << ctx.scale
+}

@@ -1,0 +1,6 @@
+// Pragma escape, malformed: no `-- reason` clause. P0 flags the pragma
+// itself and the underlying finding stays active.
+fn probe_pool() -> usize {
+    // cxlg-lint: allow(D6)
+    rayon::current_num_threads()
+}

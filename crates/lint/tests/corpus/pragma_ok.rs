@@ -1,0 +1,6 @@
+// Pragma escape, well-formed: the finding is suppressed and the reason
+// travels into the report's SUPPRESSED section.
+fn probe_pool() -> usize {
+    // cxlg-lint: allow(D6) -- pool size is recorded in every result header; results are thread-count invariant by the byte-diff gate
+    rayon::current_num_threads()
+}

@@ -13,6 +13,7 @@
 //! are *formulas* here *emerge* there.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod eqs;
 pub mod fig4;

@@ -24,6 +24,9 @@
 //!   (in `cxlg-core`) owns the event loop plus all component state. This
 //!   keeps borrows simple and the hot loop monomorphic.
 
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod channel;
 pub mod credit;
 pub mod event;
