@@ -91,4 +91,52 @@ if grep -E '"builds": ([2-9]|[0-9]{2,})' target/ci-results-t1/manifest.json; the
     echo "a dataset was built more than once per campaign"; exit 1
 fi
 
+echo "==> cached campaign: cxlg run --cached twice against one store"
+# The campaign service path: pass 1 populates the content-addressed
+# store, pass 2 must be served entirely from it — byte-identical result
+# JSON, no graph builds, a green validate, and an unchanged FIDELITY.md.
+rm -rf target/ci-cached-pass1 target/ci-cached-pass2 target/ci-cas
+for P in 1 2; do
+    CXLG_SCALE=10 RAYON_NUM_THREADS=2 CXLG_RESULTS_DIR=target/ci-cached-pass$P \
+        cargo run --release -p cxlg-bench --bin cxlg -- \
+        run --all --cached --cas-root=target/ci-cas --json-manifest >/dev/null
+done
+
+echo "==> second cached pass is all cache hits"
+grep -q '"cache_misses": 0' target/ci-cached-pass2/manifest.json \
+    || { echo "second cached pass executed jobs instead of serving them"; exit 1; }
+if grep -q '"cache_hit": false' target/ci-cached-pass2/manifest.json; then
+    echo "an experiment missed the cache on the second pass"; exit 1
+fi
+# A fully warm pass resolves job keys from the fingerprint memo and
+# serves results from the store: it must not build a single graph.
+if grep -Eq '"builds": [1-9]' target/ci-cached-pass2/manifest.json; then
+    echo "the warm cached pass rebuilt a graph"; exit 1
+fi
+
+echo "==> cached result JSON is byte-identical across passes and to the plain campaign"
+CACHED=0
+for f in target/ci-cached-pass1/*.json; do
+    b="$(basename "$f")"
+    [ "$b" = manifest.json ] && continue
+    cmp "$f" "target/ci-cached-pass2/$b" \
+        || { echo "$b differs between cached passes"; exit 1; }
+    # Same scale, seed, and thread count as the plain t2 campaign above:
+    # routing through the scheduler + store must not change a byte.
+    cmp "$f" "target/ci-results-t2/$b" \
+        || { echo "$b differs between cached and plain campaigns"; exit 1; }
+    CACHED=$((CACHED + 1))
+done
+[ "$CACHED" -ge 16 ] || { echo "only $CACHED cached result files diffed; campaign incomplete"; exit 1; }
+echo "    $CACHED cached result files byte-identical"
+
+echo "==> cxlg validate stays green over the cached campaign, FIDELITY.md unchanged"
+for P in 1 2; do
+    cargo run --release -p cxlg-bench --bin cxlg -- validate \
+        --campaign-dir=target/ci-cached-pass$P \
+        --write-report=target/ci-cached-pass$P/FIDELITY.md >/dev/null
+done
+cmp target/ci-cached-pass1/FIDELITY.md target/ci-cached-pass2/FIDELITY.md \
+    || { echo "FIDELITY.md differs between cached passes"; exit 1; }
+
 echo "CI OK"

@@ -22,7 +22,9 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// the degree parameter and seed, because `GraphSpec::name()` alone
 /// collapses specs that differ only in those fields — and a collapsed
 /// label would make the "exactly one build per spec" evidence lie.
-fn build_label(spec: &GraphSpec) -> String {
+/// Public because the campaign service keys its fingerprint memo (and
+/// thus every `JobKey`) on the same label.
+pub fn spec_label(spec: &GraphSpec) -> String {
     let param = match spec.kind {
         GraphKind::Uniform { avg_degree } => format!("deg{avg_degree}"),
         GraphKind::Kronecker { edge_factor } => format!("ef{edge_factor}"),
@@ -63,7 +65,7 @@ impl GraphCache {
                 .builds
                 .lock()
                 .unwrap()
-                .entry(build_label(&spec))
+                .entry(spec_label(&spec))
                 .or_insert(0) += 1;
             Arc::new(spec.build())
         })
@@ -95,7 +97,7 @@ impl GraphCache {
                 .evictions
                 .lock()
                 .unwrap()
-                .entry(build_label(spec))
+                .entry(spec_label(spec))
                 .or_insert(0) += 1;
         }
         evicted

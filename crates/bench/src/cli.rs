@@ -27,6 +27,26 @@ USAGE:
     cxlg list                                   enumerate registered experiments
     cxlg run [--json-manifest[=PATH]] <names..> run selected experiments
     cxlg run --all [--json-manifest[=PATH]]     run the full campaign
+    cxlg run --cached [--cas-root=DIR] <names..|--all>
+                                                run through the campaign
+                                                service scheduler + content-
+                                                addressed result store:
+                                                repeat runs with a warm store
+                                                are byte-identical cache hits
+    cxlg serve --socket=PATH [--workers=N] [--cas-root=DIR]
+                                                long-running campaign service
+                                                speaking newline-delimited
+                                                JSON (submit/status/wait/
+                                                cancel/stats/shutdown) over a
+                                                Unix socket
+    cxlg serve --stats --socket=PATH            print a running service's
+                                                stats snapshot
+    cxlg submit --socket=PATH <experiment> [--scale=N] [--seed=N]
+               [--threads=N] [--priority=high|normal|low] [--wait]
+                                                submit one job; or manage by
+                                                key: --status=KEY
+                                                --wait-key=KEY --cancel=KEY
+                                                --shutdown
     cxlg graph-mem <urand|kron|social> <scale>  build one dataset, report
                                                 wall-clock / peak RSS /
                                                 bytes-per-arc / fingerprint
@@ -49,6 +69,13 @@ OPTIONS:
     --max-bytes-per-arc=N    (graph-mem) exit nonzero when peak RSS
                              exceeds N bytes per directed arc — the CI
                              build-memory budget
+    --cached                 (run) route the campaign through the
+                             service scheduler + content-addressed
+                             store; repeat runs are cache hits
+    --cas-root=DIR           (run --cached, serve) content-addressed
+                             store root; default <results_dir>/cas
+    --socket=PATH            (serve, submit) Unix socket path
+    --workers=N              (serve) worker-pool size; default 2
     --campaign-dir=DIR       (validate) campaign to check; default is
                              the results dir
     --root=DIR               (lint) workspace root to scan; default is
@@ -74,6 +101,10 @@ pub struct RunArgs {
     pub names: Vec<String>,
     /// `Some(None)` = manifest at the default path; `Some(Some(p))` = at `p`.
     pub manifest: Option<Option<String>>,
+    /// Route the run through the campaign service scheduler + CAS.
+    pub cached: bool,
+    /// CAS root for `--cached` (default `<results_dir>/cas`).
+    pub cas_root: Option<String>,
 }
 
 /// Parse the arguments following `cxlg run`.
@@ -82,10 +113,19 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         all: false,
         names: Vec::new(),
         manifest: None,
+        cached: false,
+        cas_root: None,
     };
     for a in args {
         if a == "--all" {
             out.all = true;
+        } else if a == "--cached" {
+            out.cached = true;
+        } else if let Some(dir) = a.strip_prefix("--cas-root=") {
+            if dir.is_empty() {
+                return Err("--cas-root= requires a directory".to_string());
+            }
+            out.cas_root = Some(dir.to_string());
         } else if a == "--json-manifest" {
             out.manifest = Some(None);
         } else if let Some(path) = a.strip_prefix("--json-manifest=") {
@@ -104,6 +144,9 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     }
     if !out.all && out.names.is_empty() {
         return Err("nothing to run: pass experiment names or --all".to_string());
+    }
+    if out.cas_root.is_some() && !out.cached {
+        return Err("--cas-root only applies with --cached".to_string());
     }
     Ok(out)
 }
@@ -296,6 +339,32 @@ pub fn run_cli(args: RunArgs) -> i32 {
             }
         }
     };
+    if args.cached {
+        let results_dir = crate::results_dir();
+        let cas_root = args
+            .cas_root
+            .map_or_else(|| results_dir.join("cas"), PathBuf::from);
+        let manifest_path = args
+            .manifest
+            .map(|p| p.map_or_else(|| results_dir.join("manifest.json"), PathBuf::from));
+        let outcome = crate::serve_cli::run_cached_campaign(
+            crate::bench_scale(),
+            crate::bench_seed(),
+            rayon::current_num_threads(),
+            &results_dir,
+            &cas_root,
+            &exps,
+            manifest_path.as_deref(),
+        );
+        return match outcome {
+            Ok(o) if o.failed.is_empty() => 0,
+            Ok(_) => 1,
+            Err(msg) => {
+                eprintln!("cxlg run --cached: {msg}");
+                2
+            }
+        };
+    }
     let ctx = ExperimentCtx::from_env();
     let manifest_path = args
         .manifest
@@ -478,6 +547,324 @@ pub fn run_lint(args: LintArgs) -> i32 {
     }
 }
 
+/// Parsed `cxlg serve` arguments.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ServeArgs {
+    /// Unix socket path the service listens on (or is queried at).
+    pub socket: PathBuf,
+    /// Worker-pool size (default 2).
+    pub workers: usize,
+    /// CAS root (default `<results_dir>/cas`).
+    pub cas_root: Option<String>,
+    /// Client mode: query a running service's stats instead of serving.
+    pub stats: bool,
+}
+
+/// Parse the arguments following `cxlg serve`.
+pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut socket = None;
+    let mut workers = 2usize;
+    let mut cas_root = None;
+    let mut stats = false;
+    for a in args {
+        if let Some(p) = a.strip_prefix("--socket=") {
+            if p.is_empty() {
+                return Err("--socket= requires a path".to_string());
+            }
+            socket = Some(PathBuf::from(p));
+        } else if let Some(n) = a.strip_prefix("--workers=") {
+            workers = n
+                .parse::<usize>()
+                .ok()
+                .filter(|w| *w >= 1)
+                .ok_or_else(|| format!("--workers: bad count `{n}` (need >= 1)"))?;
+        } else if let Some(dir) = a.strip_prefix("--cas-root=") {
+            if dir.is_empty() {
+                return Err("--cas-root= requires a directory".to_string());
+            }
+            cas_root = Some(dir.to_string());
+        } else if a == "--stats" {
+            stats = true;
+        } else {
+            return Err(format!("unknown argument `{a}`"));
+        }
+    }
+    Ok(ServeArgs {
+        socket: socket.ok_or("serve: --socket=PATH is required")?,
+        workers,
+        cas_root,
+        stats,
+    })
+}
+
+/// Parsed `cxlg submit` arguments: the socket plus exactly one action.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SubmitArgs {
+    /// Unix socket of the running service.
+    pub socket: PathBuf,
+    /// The single request this invocation sends.
+    pub action: SubmitAction,
+}
+
+/// What a `cxlg submit` invocation asks the service to do.
+#[derive(Debug, PartialEq, Eq)]
+pub enum SubmitAction {
+    /// Submit one experiment job.
+    Submit {
+        /// Registered experiment name.
+        experiment: String,
+        /// Override the server's default scale.
+        scale: Option<u32>,
+        /// Override the server's default seed.
+        seed: Option<u64>,
+        /// Override the server's default thread count.
+        threads: Option<usize>,
+        /// Scheduling lane (server default: normal).
+        priority: Option<String>,
+        /// Block until the job is terminal.
+        wait: bool,
+    },
+    /// Snapshot a job by key.
+    Status(String),
+    /// Block until a job is terminal.
+    WaitKey(String),
+    /// Cancel a queued job.
+    Cancel(String),
+    /// Stop the service.
+    Shutdown,
+}
+
+/// Parse the arguments following `cxlg submit`.
+pub fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
+    let mut socket = None;
+    let mut experiment = None;
+    let mut scale = None;
+    let mut seed = None;
+    let mut threads = None;
+    let mut priority = None;
+    let mut wait = false;
+    let mut keyed: Option<SubmitAction> = None;
+    let set_keyed = |action: SubmitAction, keyed: &mut Option<SubmitAction>| {
+        if keyed.is_some() {
+            Err("submit: pass at most one of --status/--wait-key/--cancel/--shutdown".to_string())
+        } else {
+            *keyed = Some(action);
+            Ok(())
+        }
+    };
+    for a in args {
+        if let Some(p) = a.strip_prefix("--socket=") {
+            if p.is_empty() {
+                return Err("--socket= requires a path".to_string());
+            }
+            socket = Some(PathBuf::from(p));
+        } else if let Some(n) = a.strip_prefix("--scale=") {
+            scale = Some(n.parse::<u32>().map_err(|_| format!("bad scale `{n}`"))?);
+        } else if let Some(n) = a.strip_prefix("--seed=") {
+            seed = Some(n.parse::<u64>().map_err(|_| format!("bad seed `{n}`"))?);
+        } else if let Some(n) = a.strip_prefix("--threads=") {
+            threads = Some(
+                n.parse::<usize>()
+                    .ok()
+                    .filter(|t| *t >= 1)
+                    .ok_or_else(|| format!("bad thread count `{n}`"))?,
+            );
+        } else if let Some(p) = a.strip_prefix("--priority=") {
+            if !matches!(p, "high" | "normal" | "low") {
+                return Err(format!("bad priority `{p}` (high|normal|low)"));
+            }
+            priority = Some(p.to_string());
+        } else if a == "--wait" {
+            wait = true;
+        } else if let Some(k) = a.strip_prefix("--status=") {
+            set_keyed(SubmitAction::Status(k.to_string()), &mut keyed)?;
+        } else if let Some(k) = a.strip_prefix("--wait-key=") {
+            set_keyed(SubmitAction::WaitKey(k.to_string()), &mut keyed)?;
+        } else if let Some(k) = a.strip_prefix("--cancel=") {
+            set_keyed(SubmitAction::Cancel(k.to_string()), &mut keyed)?;
+        } else if a == "--shutdown" {
+            set_keyed(SubmitAction::Shutdown, &mut keyed)?;
+        } else if a.starts_with('-') {
+            return Err(format!("unknown option `{a}`"));
+        } else if experiment.is_none() {
+            experiment = Some(a.clone());
+        } else {
+            return Err(format!("unexpected argument `{a}`"));
+        }
+    }
+    let socket = socket.ok_or("submit: --socket=PATH is required")?;
+    let action = match (experiment, keyed) {
+        (Some(_), Some(_)) => {
+            return Err("submit: an experiment name and a keyed action are exclusive".to_string())
+        }
+        (None, Some(action)) => action,
+        (Some(experiment), None) => SubmitAction::Submit {
+            experiment,
+            scale,
+            seed,
+            threads,
+            priority,
+            wait,
+        },
+        (None, None) => return Err("submit: nothing to do (experiment name or keyed action)".to_string()),
+    };
+    Ok(SubmitArgs { socket, action })
+}
+
+/// Render one protocol request line for a submit action. Pure, so the
+/// wire format is unit-testable without a live socket.
+pub fn submit_request_line(action: &SubmitAction) -> String {
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    match action {
+        SubmitAction::Submit {
+            experiment,
+            scale,
+            seed,
+            threads,
+            priority,
+            wait,
+        } => {
+            fields.push(("op".to_string(), Value::Str("submit".to_string())));
+            fields.push(("experiment".to_string(), Value::Str(experiment.clone())));
+            if let Some(s) = scale {
+                fields.push(("scale".to_string(), Value::U64(*s as u64)));
+            }
+            if let Some(s) = seed {
+                fields.push(("seed".to_string(), Value::U64(*s)));
+            }
+            if let Some(t) = threads {
+                fields.push(("threads".to_string(), Value::U64(*t as u64)));
+            }
+            if let Some(p) = priority {
+                fields.push(("priority".to_string(), Value::Str(p.clone())));
+            }
+            if *wait {
+                fields.push(("wait".to_string(), Value::Bool(true)));
+            }
+        }
+        SubmitAction::Status(k) => {
+            fields.push(("op".to_string(), Value::Str("status".to_string())));
+            fields.push(("key".to_string(), Value::Str(k.clone())));
+        }
+        SubmitAction::WaitKey(k) => {
+            fields.push(("op".to_string(), Value::Str("wait".to_string())));
+            fields.push(("key".to_string(), Value::Str(k.clone())));
+        }
+        SubmitAction::Cancel(k) => {
+            fields.push(("op".to_string(), Value::Str("cancel".to_string())));
+            fields.push(("key".to_string(), Value::Str(k.clone())));
+        }
+        SubmitAction::Shutdown => {
+            fields.push(("op".to_string(), Value::Str("shutdown".to_string())));
+        }
+    }
+    serde_json::to_string(&Value::Map(fields)).expect("serialize request")
+}
+
+/// Exit code for a service response line: 0 when the service said
+/// `ok:true` and the reported job status (if any) is not `failed`.
+pub fn response_exit_code(response: &str) -> i32 {
+    let Ok(Value::Map(map)) = serde_json::from_str::<Value>(response) else {
+        return 1;
+    };
+    let ok = map
+        .iter()
+        .any(|(k, v)| k == "ok" && matches!(v, Value::Bool(true)));
+    let failed = map
+        .iter()
+        .any(|(k, v)| k == "status" && matches!(v, Value::Str(s) if s == "failed"));
+    if ok && !failed {
+        0
+    } else {
+        1
+    }
+}
+
+/// Execute `cxlg serve`: either run the campaign service on a Unix
+/// socket until a client sends `shutdown`, or (with `--stats`) query a
+/// running service and print its stats line. Returns the exit code.
+#[cfg(unix)]
+pub fn run_serve(args: ServeArgs) -> i32 {
+    use cxlg_serve::server::{request_one, Server, SubmitDefaults};
+    if args.stats {
+        return match request_one(&args.socket, "{\"op\":\"stats\"}") {
+            Ok(resp) => {
+                println!("{resp}");
+                response_exit_code(&resp)
+            }
+            Err(e) => {
+                eprintln!("cxlg serve --stats: {e}");
+                1
+            }
+        };
+    }
+    let results_dir = crate::results_dir();
+    let cas_root = args
+        .cas_root
+        .map_or_else(|| results_dir.join("cas"), PathBuf::from);
+    let cache = std::sync::Arc::new(crate::cache::GraphCache::new());
+    let backend = match crate::serve_cli::RegistryBackend::new(&cas_root, cache) {
+        Ok(b) => std::sync::Arc::new(b),
+        Err(e) => {
+            eprintln!("cxlg serve: open CAS root: {e}");
+            return 2;
+        }
+    };
+    let store = match cxlg_serve::store::ResultStore::new(&cas_root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cxlg serve: open result store: {e}");
+            return 2;
+        }
+    };
+    let defaults = SubmitDefaults {
+        scale: crate::bench_scale(),
+        seed: crate::bench_seed(),
+        threads: rayon::current_num_threads(),
+    };
+    let sched = cxlg_serve::scheduler::Scheduler::new(store, backend, args.workers);
+    let server = match Server::bind(&args.socket, sched, defaults) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cxlg serve: bind {}: {e}", args.socket.display());
+            return 2;
+        }
+    };
+    println!(
+        "cxlg serve: listening on {} (workers={}, cas={}, defaults scale={} seed={:#x} threads={})",
+        args.socket.display(),
+        args.workers,
+        cas_root.display(),
+        defaults.scale,
+        defaults.seed,
+        defaults.threads,
+    );
+    match server.run() {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("cxlg serve: {e}");
+            1
+        }
+    }
+}
+
+/// Execute `cxlg submit`: send one request line to a running service
+/// and print the response. Returns the exit code.
+#[cfg(unix)]
+pub fn run_submit(args: SubmitArgs) -> i32 {
+    let line = submit_request_line(&args.action);
+    match cxlg_serve::server::request_one(&args.socket, &line) {
+        Ok(resp) => {
+            println!("{resp}");
+            response_exit_code(&resp)
+        }
+        Err(e) => {
+            eprintln!("cxlg submit: {e}");
+            1
+        }
+    }
+}
+
 /// Entry point of the `cxlg` binary.
 pub fn cxlg_main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -502,6 +889,22 @@ pub fn cxlg_main() {
             Ok(ga) => graph_mem(ga),
             Err(msg) => {
                 eprintln!("cxlg graph-mem: {msg}\n\n{USAGE}");
+                2
+            }
+        },
+        #[cfg(unix)]
+        Some("serve") => match parse_serve_args(&args[1..]) {
+            Ok(sa) => run_serve(sa),
+            Err(msg) => {
+                eprintln!("cxlg serve: {msg}\n\n{USAGE}");
+                2
+            }
+        },
+        #[cfg(unix)]
+        Some("submit") => match parse_submit_args(&args[1..]) {
+            Ok(sa) => run_submit(sa),
+            Err(msg) => {
+                eprintln!("cxlg submit: {msg}\n\n{USAGE}");
                 2
             }
         },
@@ -555,6 +958,8 @@ pub fn run_all() {
         all: true,
         names: Vec::new(),
         manifest: Some(None),
+        cached: false,
+        cas_root: None,
     });
     std::process::exit(code);
 }
@@ -637,6 +1042,118 @@ mod tests {
         assert!(parse_lint_args(&s(&["--root="])).is_err());
         assert!(parse_lint_args(&s(&["--frob"])).is_err());
         assert!(parse_lint_args(&s(&["stray"])).is_err());
+    }
+
+    #[test]
+    fn parse_run_cached_forms() {
+        let ra = parse_run_args(&s(&["--cached", "--all"])).unwrap();
+        assert!(ra.cached && ra.all);
+        assert_eq!(ra.cas_root, None);
+        let ra = parse_run_args(&s(&["--cached", "--cas-root=/tmp/cas", "fig3"])).unwrap();
+        assert_eq!(ra.cas_root, Some("/tmp/cas".to_string()));
+        assert!(parse_run_args(&s(&["--cas-root=/tmp/cas", "fig3"])).is_err());
+        assert!(parse_run_args(&s(&["--cached", "--cas-root=", "fig3"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_forms() {
+        let sa = parse_serve_args(&s(&["--socket=/tmp/s.sock"])).unwrap();
+        assert_eq!(
+            sa,
+            ServeArgs {
+                socket: PathBuf::from("/tmp/s.sock"),
+                workers: 2,
+                cas_root: None,
+                stats: false
+            }
+        );
+        let sa =
+            parse_serve_args(&s(&["--socket=/tmp/s.sock", "--workers=4", "--cas-root=/tmp/cas", "--stats"]))
+                .unwrap();
+        assert_eq!(sa.workers, 4);
+        assert_eq!(sa.cas_root, Some("/tmp/cas".to_string()));
+        assert!(sa.stats);
+        assert!(parse_serve_args(&s(&[])).is_err(), "socket is required");
+        assert!(parse_serve_args(&s(&["--socket="])).is_err());
+        assert!(parse_serve_args(&s(&["--socket=/tmp/s", "--workers=0"])).is_err());
+        assert!(parse_serve_args(&s(&["--socket=/tmp/s", "--frob"])).is_err());
+    }
+
+    #[test]
+    fn parse_submit_forms() {
+        let sa = parse_submit_args(&s(&["--socket=/tmp/s.sock", "fig3", "--wait"])).unwrap();
+        assert_eq!(
+            sa.action,
+            SubmitAction::Submit {
+                experiment: "fig3".to_string(),
+                scale: None,
+                seed: None,
+                threads: None,
+                priority: None,
+                wait: true
+            }
+        );
+        let sa = parse_submit_args(&s(&[
+            "--socket=/tmp/s.sock",
+            "fig3",
+            "--scale=10",
+            "--seed=7",
+            "--threads=2",
+            "--priority=high",
+        ]))
+        .unwrap();
+        let SubmitAction::Submit { scale, seed, threads, priority, wait, .. } = sa.action else {
+            panic!("must parse a submit action")
+        };
+        assert_eq!((scale, seed, threads), (Some(10), Some(7), Some(2)));
+        assert_eq!(priority.as_deref(), Some("high"));
+        assert!(!wait);
+        let sa = parse_submit_args(&s(&["--socket=/tmp/s", "--status=0123456789abcdef"])).unwrap();
+        assert_eq!(sa.action, SubmitAction::Status("0123456789abcdef".to_string()));
+        let sa = parse_submit_args(&s(&["--socket=/tmp/s", "--shutdown"])).unwrap();
+        assert_eq!(sa.action, SubmitAction::Shutdown);
+    }
+
+    #[test]
+    fn parse_submit_rejects_bad_combinations() {
+        assert!(parse_submit_args(&s(&["fig3"])).is_err(), "socket required");
+        assert!(parse_submit_args(&s(&["--socket=/tmp/s"])).is_err(), "no action");
+        assert!(parse_submit_args(&s(&["--socket=/tmp/s", "fig3", "--shutdown"])).is_err());
+        assert!(
+            parse_submit_args(&s(&["--socket=/tmp/s", "--status=a", "--cancel=b"])).is_err()
+        );
+        assert!(parse_submit_args(&s(&["--socket=/tmp/s", "fig3", "--threads=0"])).is_err());
+        assert!(parse_submit_args(&s(&["--socket=/tmp/s", "fig3", "--priority=urgent"])).is_err());
+    }
+
+    #[test]
+    fn submit_request_lines_are_valid_protocol() {
+        let line = submit_request_line(&SubmitAction::Submit {
+            experiment: "fig3".to_string(),
+            scale: Some(10),
+            seed: None,
+            threads: None,
+            priority: Some("low".to_string()),
+            wait: true,
+        });
+        assert_eq!(
+            line,
+            r#"{"op":"submit","experiment":"fig3","scale":10,"priority":"low","wait":true}"#
+        );
+        assert!(cxlg_serve::proto::parse_request(&line).is_ok());
+        let line = submit_request_line(&SubmitAction::WaitKey("0123456789abcdef".to_string()));
+        assert!(cxlg_serve::proto::parse_request(&line).is_ok());
+        let line = submit_request_line(&SubmitAction::Shutdown);
+        assert_eq!(line, r#"{"op":"shutdown"}"#);
+    }
+
+    #[test]
+    fn response_exit_codes_track_ok_and_failure() {
+        assert_eq!(response_exit_code(r#"{"ok":true}"#), 0);
+        assert_eq!(response_exit_code(r#"{"ok":true,"status":"done"}"#), 0);
+        assert_eq!(response_exit_code(r#"{"ok":true,"status":"failed"}"#), 1);
+        assert_eq!(response_exit_code(r#"{"ok":false,"error":"boom"}"#), 1);
+        assert_eq!(response_exit_code("garbage"), 1);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub struct ExperimentCtx {
     pub threads: usize,
     /// Directory result JSON is written to.
     pub results_dir: PathBuf,
-    cache: GraphCache,
+    cache: Arc<GraphCache>,
     /// Remaining declared consumers per spec (the eviction plan); empty
     /// when no campaign plan was installed, in which case `release` is
     /// a no-op and graphs live for the whole context. A `BTreeMap` so
@@ -53,13 +53,26 @@ impl ExperimentCtx {
 
     /// Context with explicit parameters (tests, embedding).
     pub fn new(scale: u32, seed: u64, threads: usize, results_dir: PathBuf) -> Self {
+        Self::with_cache(scale, seed, threads, results_dir, Arc::new(GraphCache::new()))
+    }
+
+    /// Context sharing an existing graph cache — the campaign service
+    /// creates one context per job but must not rebuild a dataset that
+    /// another job on the same service already built.
+    pub fn with_cache(
+        scale: u32,
+        seed: u64,
+        threads: usize,
+        results_dir: PathBuf,
+        cache: Arc<GraphCache>,
+    ) -> Self {
         std::fs::create_dir_all(&results_dir).expect("create results dir");
         ExperimentCtx {
             scale,
             seed,
             threads,
             results_dir,
-            cache: GraphCache::new(),
+            cache,
             remaining_consumers: Mutex::new(BTreeMap::new()),
             written: Mutex::new(Vec::new()),
         }

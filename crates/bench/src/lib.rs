@@ -41,6 +41,7 @@ pub mod experiment;
 pub mod experiments;
 pub mod fidelity;
 pub mod registry;
+pub mod serve_cli;
 
 use cxlg_core::metrics::RunReport;
 use std::path::PathBuf;

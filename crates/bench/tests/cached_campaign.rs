@@ -1,0 +1,132 @@
+//! The cached-campaign properties `cxlg run --cached` promises: a
+//! second run over a warm store is all cache hits with byte-identical
+//! result files and zero graph builds, job keys are stable across
+//! runs, and a tampered CAS entry is re-executed and repaired rather
+//! than served.
+
+use cxlg_bench::experiment::Experiment;
+use cxlg_bench::registry;
+use cxlg_bench::serve_cli::run_cached_campaign;
+use std::path::{Path, PathBuf};
+
+fn exps(names: &[&str]) -> Vec<&'static dyn Experiment> {
+    names
+        .iter()
+        .map(|n| registry::find(n).unwrap_or_else(|| panic!("unknown experiment {n}")))
+        .collect()
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn second_cached_run_is_all_hits_and_byte_identical() {
+    let base = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("cached-campaign");
+    let _ = std::fs::remove_dir_all(&base);
+    let cas = base.join("cas");
+    let list = exps(&["fig3", "fig4", "eqcheck"]);
+
+    let pass1 = base.join("pass1");
+    let o1 = rayon::with_num_threads(2, || {
+        run_cached_campaign(8, 0x5EED, 2, &pass1, &cas, &list, Some(&pass1.join("manifest.json")))
+    })
+    .unwrap();
+    assert!(o1.failed.is_empty(), "failed: {:?}", o1.failed);
+    assert!(
+        o1.reports.iter().all(|r| !r.cache_hit),
+        "a cold store has no hits"
+    );
+    assert_eq!((o1.cache_hits, o1.cache_misses), (0, 3));
+    assert!(!o1.graph_builds.is_empty(), "cold run must build graphs");
+    // eqcheck is the print-only experiment: cached as done, no files.
+    let eq = o1.reports.iter().find(|r| r.name == "eqcheck").unwrap();
+    assert!(eq.result_files.is_empty());
+    assert!(pass1.join("fig3.json").is_file());
+    assert!(pass1.join("manifest.json").is_file());
+
+    let pass2 = base.join("pass2");
+    let o2 = rayon::with_num_threads(2, || {
+        run_cached_campaign(8, 0x5EED, 2, &pass2, &cas, &list, Some(&pass2.join("manifest.json")))
+    })
+    .unwrap();
+    assert!(o2.failed.is_empty(), "failed: {:?}", o2.failed);
+    assert!(
+        o2.reports.iter().all(|r| r.cache_hit),
+        "warm store must serve every job: {:?}",
+        o2.reports
+            .iter()
+            .map(|r| (r.name.clone(), r.cache_hit))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!((o2.cache_hits, o2.cache_misses), (3, 0));
+    assert!(
+        o2.graph_builds.is_empty(),
+        "a fully warm run must not build any graph, got {:?}",
+        o2.graph_builds
+    );
+
+    // Same jobs, same keys — content addressing is stable across runs.
+    for (a, b) in o1.reports.iter().zip(&o2.reports) {
+        assert_eq!(a.name, b.name);
+        assert_eq!(a.key, b.key, "{} key drifted across runs", a.name);
+    }
+
+    // The cached result files are byte-identical to the fresh ones.
+    for name in ["fig3.json", "fig4.json"] {
+        assert_eq!(
+            read(&pass1.join(name)),
+            read(&pass2.join(name)),
+            "{name} differs between fresh and cached runs"
+        );
+    }
+
+    // A different job (other seed) gets a different key.
+    let pass3 = base.join("pass3");
+    let o3 = rayon::with_num_threads(2, || {
+        run_cached_campaign(8, 0x0BAD, 2, &pass3, &cas, &exps(&["fig3"]), None)
+    })
+    .unwrap();
+    assert_ne!(o3.reports[0].key, o1.reports[2].key);
+    assert!(!o3.reports[0].cache_hit, "a new seed is a distinct job");
+}
+
+#[test]
+fn tampered_cas_entries_are_reexecuted_and_repaired() {
+    let base = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("cached-tamper");
+    let _ = std::fs::remove_dir_all(&base);
+    let cas = base.join("cas");
+    let list = exps(&["fig3"]);
+
+    let pass1 = base.join("pass1");
+    let o1 = rayon::with_num_threads(1, || {
+        run_cached_campaign(8, 0x5EED, 1, &pass1, &cas, &list, None)
+    })
+    .unwrap();
+    assert!(o1.failed.is_empty());
+    let key = o1.reports[0].key.clone();
+    let fresh = read(&pass1.join("fig3.json"));
+
+    // Corrupt the stored payload in place (same length, flipped byte).
+    let payload = cas.join(&key).join("fig3.json");
+    let mut bytes = read(&payload);
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xFF;
+    std::fs::write(&payload, &bytes).unwrap();
+
+    let pass2 = base.join("pass2");
+    let o2 = rayon::with_num_threads(1, || {
+        run_cached_campaign(8, 0x5EED, 1, &pass2, &cas, &list, None)
+    })
+    .unwrap();
+    assert!(o2.failed.is_empty());
+    assert!(
+        !o2.reports[0].cache_hit,
+        "integrity failure must force re-execution, not a serve"
+    );
+    assert_eq!(o2.reports[0].key, key, "the key is input-derived, unchanged");
+    // The re-executed result matches the original bytes, and the store
+    // entry is repaired.
+    assert_eq!(read(&pass2.join("fig3.json")), fresh);
+    assert_eq!(read(&payload), fresh);
+}

@@ -30,6 +30,44 @@ pub fn peak_rss_kb() -> u64 {
     PEAK_SEEN_KB.fetch_max(kb, Ordering::Relaxed).max(kb)
 }
 
+/// Peak-RSS readings bracketing one unit of work — the honest answer
+/// to "how much memory did this job add?".
+///
+/// [`peak_rss_kb`] is **process-global and monotone**: under a shared
+/// process (the campaign service runs many jobs in one), every job
+/// sampling it at completion reports the same campaign high-water
+/// mark, which misattributes the largest job's footprint to everyone.
+/// A span records the mark before and after instead; the delta is the
+/// growth of the process high-water mark *during* the span, with two
+/// documented caveats: under concurrency it is an upper bound on the
+/// span's own footprint (a neighbour's allocations land in whichever
+/// span is open), and it is 0 whenever the process peak predates the
+/// span — never a per-job absolute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RssSpan {
+    /// Process high-water mark (kB) when the span opened.
+    pub before_kb: u64,
+    /// Process high-water mark (kB) when the span closed.
+    pub after_kb: u64,
+}
+
+impl RssSpan {
+    /// Growth of the process high-water mark across the span (kB).
+    /// 0 when the peak predates the span or no source exists.
+    pub fn delta_kb(&self) -> u64 {
+        self.after_kb.saturating_sub(self.before_kb)
+    }
+}
+
+/// Run `f`, bracketing it with peak-RSS samples. Both samples come from
+/// the monotone [`peak_rss_kb`], so `after_kb >= before_kb` always.
+pub fn rss_span<R>(f: impl FnOnce() -> R) -> (R, RssSpan) {
+    let before_kb = peak_rss_kb();
+    let r = f();
+    let after_kb = peak_rss_kb();
+    (r, RssSpan { before_kb, after_kb })
+}
+
 /// Parse `VmHWM:  <n> kB` out of `/proc/self/status`.
 fn vm_hwm_kb() -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
@@ -95,6 +133,26 @@ mod tests {
         // A test process maps at least a few hundred kB and far less
         // than 1 TB; anything outside that is a parsing bug.
         assert!(kb > 100 && kb < (1u64 << 30), "implausible VmHWM {kb} kB");
+    }
+
+    #[test]
+    fn rss_span_brackets_work_and_never_goes_negative() {
+        let (value, span) = rss_span(|| {
+            // Touch ~16 MB inside the span.
+            let v = vec![3u8; 16 << 20];
+            v[1 << 20] as u64
+        });
+        assert_eq!(value, 3);
+        assert!(span.after_kb >= span.before_kb, "span must be monotone");
+        assert_eq!(span.delta_kb(), span.after_kb - span.before_kb);
+    }
+
+    #[test]
+    fn rss_span_delta_saturates() {
+        // delta_kb never underflows even on a hand-built inverted span
+        // (can only arise from a buggy caller, but must not panic).
+        let span = RssSpan { before_kb: 10, after_kb: 4 };
+        assert_eq!(span.delta_kb(), 0);
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! # cxlg-serve — the campaign job service
+//!
+//! Turns the batch campaign into a long-running service shape: clients
+//! submit **jobs** (one experiment at one `(scale, seed, threads)`
+//! configuration), a **bounded worker pool** schedules them over FIFO
+//! priority lanes with singleflight dedup, and results are memoized in
+//! a **content-addressed store** so a job whose inputs have not changed
+//! is served from cache instead of re-simulated.
+//!
+//! * [`job`] — the [`Job`] model and the deterministic
+//!   [`JobKey`] derived from the job fields plus the graph
+//!   fingerprints of its datasets;
+//! * [`store`] — [`ResultStore`]: one directory per
+//!   job key holding the result payloads and a manifest with integrity
+//!   checksums, published atomically (write-then-rename) and verified
+//!   on every read;
+//! * [`scheduler`] — [`Scheduler`]: the worker
+//!   pool, job lifecycle (`Queued → Running → Done/Failed`, plus
+//!   `Cancelled` for jobs pulled from the queue), singleflight, and the
+//!   cache-first execution path;
+//! * [`stats`] — the byte-stable service statistics snapshot;
+//! * [`proto`] — the newline-delimited JSON request/response wire
+//!   format;
+//! * [`server`] — the Unix-socket front end (`cxlg serve`).
+//!
+//! The crate is deliberately ignorant of what a job *does*: execution
+//! and graph-fingerprint resolution are injected through the
+//! [`JobBackend`] trait, which `cxlg-bench`
+//! implements over its experiment registry. That keeps the dependency
+//! arrow pointing one way (`bench → serve`) and makes the scheduler and
+//! store testable with stub backends.
+//!
+//! Determinism contract: a cached result is byte-identical to a fresh
+//! run (checksummed payload bytes are replayed verbatim), and every
+//! serialized artifact is byte-stable except the explicitly exempted
+//! wall-clock / RSS telemetry fields, mirroring the campaign manifest's
+//! exemptions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod job;
+pub mod proto;
+pub mod scheduler;
+#[cfg(unix)]
+pub mod server;
+pub mod stats;
+pub mod store;
+
+pub use job::{Job, JobKey, Priority};
+pub use scheduler::{JobBackend, JobOutput, Scheduler};
+pub use store::ResultStore;

@@ -1,0 +1,293 @@
+//! The wire format: newline-delimited JSON requests and responses.
+//!
+//! Each request is one JSON object on one line with an `op` field
+//! (`submit` / `status` / `wait` / `cancel` / `stats` / `shutdown`);
+//! each response is one JSON object on one line with an `ok` field.
+//! Responses are rendered compactly (no internal newlines) so the
+//! stream stays line-delimited.
+//!
+//! ```text
+//! → {"op":"submit","experiment":"fig3","scale":10,"seed":24301,"threads":1}
+//! ← {"ok":true,"key":"9f2c…","deduped":false,"status":"queued"}
+//! → {"op":"wait","key":"9f2c…"}
+//! ← {"ok":true,"key":"9f2c…","experiment":"fig3","status":"done","cache_hit":true,…}
+//! → {"op":"stats"}
+//! ← {"ok":true,"stats":{…}}
+//! ```
+
+use crate::job::{JobKey, Priority};
+use crate::scheduler::{JobSnapshot, JobStatus};
+use crate::stats::Stats;
+use serde::Value;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job; missing numeric fields take the server's defaults.
+    Submit {
+        /// Experiment name.
+        experiment: String,
+        /// log2 vertex count (server default when absent).
+        scale: Option<u32>,
+        /// Generator seed (server default when absent).
+        seed: Option<u64>,
+        /// Thread-pool size to record (server default when absent).
+        threads: Option<usize>,
+        /// Scheduling lane (default `normal`).
+        priority: Priority,
+        /// Block the connection until the job is terminal.
+        wait: bool,
+    },
+    /// Snapshot one job.
+    Status(JobKey),
+    /// Block until one job is terminal, then snapshot it.
+    Wait(JobKey),
+    /// Cancel a queued job.
+    Cancel(JobKey),
+    /// Service statistics snapshot.
+    Stats,
+    /// Stop accepting connections and shut the pool down.
+    Shutdown,
+}
+
+fn get<'v>(map: &'v [(String, Value)], key: &str) -> Option<&'v Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_str(map: &[(String, Value)], key: &str) -> Result<String, String> {
+    match get(map, key) {
+        Some(Value::Str(s)) => Ok(s.clone()),
+        Some(_) => Err(format!("field `{key}` must be a string")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+fn get_u64_opt(map: &[(String, Value)], key: &str) -> Result<Option<u64>, String> {
+    match get(map, key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::U64(n)) => Ok(Some(*n)),
+        Some(Value::I64(n)) if *n >= 0 => Ok(Some(*n as u64)),
+        Some(_) => Err(format!("field `{key}` must be a non-negative integer")),
+    }
+}
+
+fn get_key(map: &[(String, Value)], key: &str) -> Result<JobKey, String> {
+    JobKey::parse(&get_str(map, key)?)
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v: Value = serde_json::from_str(line.trim()).map_err(|e| format!("bad JSON: {e}"))?;
+    let Value::Map(map) = v else {
+        return Err("request must be a JSON object".to_string());
+    };
+    let op = get_str(&map, "op")?;
+    match op.as_str() {
+        "submit" => {
+            let experiment = get_str(&map, "experiment")?;
+            if experiment.is_empty() {
+                return Err("field `experiment` must be non-empty".to_string());
+            }
+            let scale = match get_u64_opt(&map, "scale")? {
+                Some(n) => Some(
+                    u32::try_from(n).map_err(|_| "field `scale` out of range".to_string())?,
+                ),
+                None => None,
+            };
+            let seed = get_u64_opt(&map, "seed")?;
+            let threads = match get_u64_opt(&map, "threads")? {
+                Some(0) => return Err("field `threads` must be positive".to_string()),
+                Some(n) => Some(
+                    usize::try_from(n).map_err(|_| "field `threads` out of range".to_string())?,
+                ),
+                None => None,
+            };
+            let priority = match get(&map, "priority") {
+                None | Some(Value::Null) => Priority::Normal,
+                Some(Value::Str(s)) => Priority::parse(s)?,
+                Some(_) => return Err("field `priority` must be a string".to_string()),
+            };
+            let wait = match get(&map, "wait") {
+                None | Some(Value::Null) => false,
+                Some(Value::Bool(b)) => *b,
+                Some(_) => return Err("field `wait` must be a boolean".to_string()),
+            };
+            Ok(Request::Submit {
+                experiment,
+                scale,
+                seed,
+                threads,
+                priority,
+                wait,
+            })
+        }
+        "status" => Ok(Request::Status(get_key(&map, "key")?)),
+        "wait" => Ok(Request::Wait(get_key(&map, "key")?)),
+        "cancel" => Ok(Request::Cancel(get_key(&map, "key")?)),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!(
+            "unknown op `{other}` (submit|status|wait|cancel|stats|shutdown)"
+        )),
+    }
+}
+
+fn compact(v: &Value) -> String {
+    serde_json::to_string(v).expect("serialize response")
+}
+
+/// `{"ok":false,"error":…}` — one line.
+pub fn render_error(msg: &str) -> String {
+    compact(&Value::Map(vec![
+        ("ok".to_string(), Value::Bool(false)),
+        ("error".to_string(), Value::Str(msg.to_string())),
+    ]))
+}
+
+/// Successful submit acknowledgement (non-waiting form) — one line.
+pub fn render_submitted(key: &JobKey, deduped: bool, status: JobStatus) -> String {
+    compact(&Value::Map(vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("key".to_string(), Value::Str(key.as_str().to_string())),
+        ("deduped".to_string(), Value::Bool(deduped)),
+        ("status".to_string(), Value::Str(status.as_str().to_string())),
+    ]))
+}
+
+/// A job snapshot as a JSON value (shared by `status`, `wait`, and
+/// waiting submits). `wall_ms` / `queue_wait_ms` are telemetry.
+pub fn snapshot_value(s: &JobSnapshot) -> Value {
+    let mut fields = vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("key".to_string(), Value::Str(s.key.as_str().to_string())),
+        ("experiment".to_string(), Value::Str(s.job.experiment.clone())),
+        ("scale".to_string(), Value::U64(s.job.scale as u64)),
+        ("seed".to_string(), Value::U64(s.job.seed)),
+        ("threads".to_string(), Value::U64(s.job.threads as u64)),
+        (
+            "priority".to_string(),
+            Value::Str(s.priority.as_str().to_string()),
+        ),
+        ("status".to_string(), Value::Str(s.status.as_str().to_string())),
+        ("cache_hit".to_string(), Value::Bool(s.cache_hit)),
+        ("wall_ms".to_string(), Value::F64(s.wall_ms)),
+        ("queue_wait_ms".to_string(), Value::F64(s.queue_wait_ms)),
+        ("dedup_hits".to_string(), Value::U64(s.dedup_hits)),
+        (
+            "files".to_string(),
+            Value::Array(s.files.iter().map(|f| Value::Str(f.clone())).collect()),
+        ),
+    ];
+    if let Some(err) = &s.error {
+        fields.push(("error".to_string(), Value::Str(err.clone())));
+    }
+    Value::Map(fields)
+}
+
+/// A job snapshot — one line.
+pub fn render_snapshot(s: &JobSnapshot) -> String {
+    compact(&snapshot_value(s))
+}
+
+/// A cancel acknowledgement — one line.
+pub fn render_cancelled(cancelled: bool) -> String {
+    compact(&Value::Map(vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("cancelled".to_string(), Value::Bool(cancelled)),
+    ]))
+}
+
+/// A stats snapshot — one line.
+pub fn render_stats(stats: &Stats) -> String {
+    compact(&Value::Map(vec![
+        ("ok".to_string(), Value::Bool(true)),
+        ("stats".to_string(), stats.to_value()),
+    ]))
+}
+
+/// A shutdown acknowledgement — one line.
+pub fn render_shutdown() -> String {
+    compact(&Value::Map(vec![("ok".to_string(), Value::Bool(true))]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_parses_full_and_minimal_forms() {
+        let r = parse_request(
+            r#"{"op":"submit","experiment":"fig3","scale":10,"seed":24301,"threads":2,"priority":"high","wait":true}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            r,
+            Request::Submit {
+                experiment: "fig3".to_string(),
+                scale: Some(10),
+                seed: Some(24301),
+                threads: Some(2),
+                priority: Priority::High,
+                wait: true,
+            }
+        );
+        let r = parse_request(r#"{"op":"submit","experiment":"fig3"}"#).unwrap();
+        assert_eq!(
+            r,
+            Request::Submit {
+                experiment: "fig3".to_string(),
+                scale: None,
+                seed: None,
+                threads: None,
+                priority: Priority::Normal,
+                wait: false,
+            }
+        );
+    }
+
+    #[test]
+    fn submit_rejects_malformed_fields() {
+        assert!(parse_request(r#"{"op":"submit"}"#).is_err());
+        assert!(parse_request(r#"{"op":"submit","experiment":""}"#).is_err());
+        assert!(parse_request(r#"{"op":"submit","experiment":"x","scale":"ten"}"#).is_err());
+        assert!(parse_request(r#"{"op":"submit","experiment":"x","threads":0}"#).is_err());
+        assert!(parse_request(r#"{"op":"submit","experiment":"x","priority":"urgent"}"#).is_err());
+        assert!(parse_request(r#"{"op":"submit","experiment":"x","wait":"yes"}"#).is_err());
+    }
+
+    #[test]
+    fn keyed_ops_parse_and_validate_keys() {
+        let key = "0123456789abcdef";
+        for (op, want) in [
+            ("status", Request::Status(JobKey::parse(key).unwrap())),
+            ("wait", Request::Wait(JobKey::parse(key).unwrap())),
+            ("cancel", Request::Cancel(JobKey::parse(key).unwrap())),
+        ] {
+            let r = parse_request(&format!(r#"{{"op":"{op}","key":"{key}"}}"#)).unwrap();
+            assert_eq!(r, want);
+            assert!(parse_request(&format!(r#"{{"op":"{op}","key":"zz"}}"#)).is_err());
+            assert!(parse_request(&format!(r#"{{"op":"{op}"}}"#)).is_err());
+        }
+    }
+
+    #[test]
+    fn bare_ops_and_junk() {
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(parse_request(r#"{"op":"shutdown"}"#).unwrap(), Request::Shutdown);
+        assert!(parse_request("not json").is_err());
+        assert!(parse_request("[1,2]").is_err());
+        assert!(parse_request(r#"{"op":"frobnicate"}"#).is_err());
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        let err = render_error("boom");
+        assert!(!err.contains('\n'));
+        assert!(err.contains("\"ok\""));
+        let ack = render_submitted(&JobKey::parse("0123456789abcdef").unwrap(), true, JobStatus::Queued);
+        assert!(!ack.contains('\n'));
+        assert!(ack.contains("\"deduped\""));
+        assert!(!render_cancelled(true).contains('\n'));
+        assert!(!render_shutdown().contains('\n'));
+    }
+}

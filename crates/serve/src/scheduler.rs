@@ -1,0 +1,525 @@
+//! The bounded worker-pool scheduler.
+//!
+//! Jobs are submitted into three FIFO **priority lanes** (`high` /
+//! `normal` / `low`); a fixed pool of worker threads drains `high`
+//! before `normal` before `low`, FIFO within each lane. Every job walks
+//! the lifecycle `Queued → Running → Done | Failed`, with `Cancelled`
+//! reachable only from `Queued` (a running simulation is never torn
+//! down mid-flight — its result is still deterministic and cacheable).
+//!
+//! **Singleflight.** Submissions are collapsed by [`JobKey`]: while a
+//! key is queued, running, or already done, further submissions of the
+//! same key return the existing entry instead of enqueueing a second
+//! execution (`deduped` in the submit outcome; a per-entry counter
+//! records how many submissions collapsed). A `Failed` or `Cancelled`
+//! key is re-armed by the next submission.
+//!
+//! **Cache-first execution.** A worker first probes the
+//! [`ResultStore`]; a verified hit completes the job without touching
+//! the backend, a miss executes via [`JobBackend::execute`] and
+//! publishes the result atomically. Combined with singleflight this
+//! gives the service the serving-stack property: N concurrent identical
+//! requests cost one simulation, and repeats across process lifetimes
+//! cost none.
+//!
+//! Wall-clock here (queue wait, execution time) is scheduling
+//! telemetry: it lands only in CAS manifests and stats snapshots, both
+//! of which exempt those fields from byte-stability, and never in
+//! result payloads.
+
+use crate::job::{canonical, Job, JobKey, Priority};
+use crate::stats::{ExperimentStat, Stats};
+use crate::store::{manifest_for, FingerprintEntry, ResultStore};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// What one executed job produced: named result payloads, verbatim
+/// bytes. Names become files both in the CAS entry and in whatever
+/// results directory a client materializes them into.
+#[derive(Debug, Clone, Default)]
+pub struct JobOutput {
+    /// `(file name, bytes)` per payload.
+    pub files: Vec<(String, Vec<u8>)>,
+}
+
+/// What the scheduler delegates: resolving a job's graph inputs and
+/// actually running it. Implemented by `cxlg-bench` over the experiment
+/// registry; tests use stubs.
+pub trait JobBackend: Send + Sync {
+    /// `(dataset label, Csr::fingerprint)` for every graph the job
+    /// consumes — the input half of the job key. Called at submit time;
+    /// implementations should memoize (a fingerprint is a pure function
+    /// of the dataset label).
+    fn fingerprints(&self, job: &Job) -> Result<Vec<(String, u64)>, String>;
+
+    /// Execute the job, returning its result payloads. Must be
+    /// deterministic for a fixed job: byte-identical payloads on every
+    /// call — the property that makes the result store sound.
+    fn execute(&self, key: &JobKey, job: &Job) -> Result<JobOutput, String>;
+}
+
+/// Job lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// In a lane, not yet picked up.
+    Queued,
+    /// A worker is executing (or replaying) it.
+    Running,
+    /// Finished successfully; results are in the store.
+    Done,
+    /// The backend reported an error (or panicked).
+    Failed,
+    /// Pulled from the queue before a worker picked it up.
+    Cancelled,
+}
+
+impl JobStatus {
+    /// Wire name (`queued` / `running` / `done` / `failed` / `cancelled`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+
+    /// Whether the lifecycle can no longer advance.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled)
+    }
+}
+
+/// Point-in-time view of one job, as returned by `status` / `wait`.
+#[derive(Debug, Clone)]
+pub struct JobSnapshot {
+    /// The job's key.
+    pub key: JobKey,
+    /// The submitted job.
+    pub job: Job,
+    /// Lane it was submitted into.
+    pub priority: Priority,
+    /// Current lifecycle state.
+    pub status: JobStatus,
+    /// Whether completion came from the result store.
+    pub cache_hit: bool,
+    /// Execution wall-clock (ms) — 0 until terminal; telemetry.
+    pub wall_ms: f64,
+    /// Time spent queued before a worker picked the job up (ms) —
+    /// telemetry.
+    pub queue_wait_ms: f64,
+    /// How many submissions collapsed onto this entry after the first.
+    pub dedup_hits: u64,
+    /// Backend error for `Failed` jobs.
+    pub error: Option<String>,
+    /// Result payload names (CAS entry contents) once `Done`.
+    pub files: Vec<String>,
+}
+
+/// Outcome of a submission.
+#[derive(Debug, Clone)]
+pub struct SubmitOutcome {
+    /// Key naming the (possibly pre-existing) entry.
+    pub key: JobKey,
+    /// `true` when singleflight collapsed this submission onto an
+    /// existing queued/running/done entry.
+    pub deduped: bool,
+}
+
+struct Entry {
+    job: Job,
+    priority: Priority,
+    status: JobStatus,
+    cache_hit: bool,
+    wall_ms: f64,
+    queue_wait_ms: f64,
+    dedup_hits: u64,
+    error: Option<String>,
+    files: Vec<String>,
+    fingerprints: Vec<(String, u64)>,
+    queued_at: Instant,
+}
+
+impl Entry {
+    fn snapshot(&self, key: &JobKey) -> JobSnapshot {
+        JobSnapshot {
+            key: key.clone(),
+            job: self.job.clone(),
+            priority: self.priority,
+            status: self.status,
+            cache_hit: self.cache_hit,
+            wall_ms: self.wall_ms,
+            queue_wait_ms: self.queue_wait_ms,
+            dedup_hits: self.dedup_hits,
+            error: self.error.clone(),
+            files: self.files.clone(),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    completed: u64,
+    failed: u64,
+    cancelled: u64,
+    deduped: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+}
+
+struct State {
+    lanes: [VecDeque<JobKey>; 3],
+    entries: BTreeMap<JobKey, Entry>,
+    running: usize,
+    shutdown: bool,
+    counters: Counters,
+    per_experiment: BTreeMap<String, (u64, f64)>,
+}
+
+struct Inner {
+    backend: Arc<dyn JobBackend>,
+    store: ResultStore,
+    state: Mutex<State>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+}
+
+/// The bounded worker-pool scheduler over one result store and one
+/// backend.
+pub struct Scheduler {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Spawn a scheduler with `workers` pool threads (clamped to ≥ 1).
+    pub fn new(store: ResultStore, backend: Arc<dyn JobBackend>, workers: usize) -> Arc<Self> {
+        let inner = Arc::new(Inner {
+            backend,
+            store,
+            state: Mutex::new(State {
+                lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
+                entries: BTreeMap::new(),
+                running: 0,
+                shutdown: false,
+                counters: Counters::default(),
+                per_experiment: BTreeMap::new(),
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("cxlg-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn scheduler worker")
+            })
+            .collect();
+        Arc::new(Scheduler {
+            inner,
+            workers: Mutex::new(handles),
+        })
+    }
+
+    /// The scheduler's result store.
+    pub fn store(&self) -> &ResultStore {
+        &self.inner.store
+    }
+
+    /// Submit a job. Resolves the job's graph fingerprints through the
+    /// backend (errors surface here, before anything is enqueued),
+    /// derives the key, and either enqueues a new entry or collapses
+    /// onto an existing one (singleflight).
+    pub fn submit(&self, job: Job, priority: Priority) -> Result<SubmitOutcome, String> {
+        let fingerprints = self.inner.backend.fingerprints(&job)?;
+        let key = JobKey::derive(&job, &fingerprints);
+        let mut st = self.inner.state.lock().unwrap();
+        if st.shutdown {
+            return Err("scheduler is shut down".to_string());
+        }
+        if let Some(e) = st.entries.get_mut(&key) {
+            if e.status != JobStatus::Failed && e.status != JobStatus::Cancelled {
+                e.dedup_hits += 1;
+                st.counters.deduped += 1;
+                return Ok(SubmitOutcome { key, deduped: true });
+            }
+            // Re-arm a failed/cancelled entry.
+            e.status = JobStatus::Queued;
+            e.priority = priority;
+            e.cache_hit = false;
+            e.wall_ms = 0.0;
+            e.queue_wait_ms = 0.0;
+            e.error = None;
+            e.files.clear();
+            e.fingerprints = fingerprints;
+            e.queued_at = Instant::now();
+        } else {
+            st.entries.insert(
+                key.clone(),
+                Entry {
+                    job,
+                    priority,
+                    status: JobStatus::Queued,
+                    cache_hit: false,
+                    wall_ms: 0.0,
+                    queue_wait_ms: 0.0,
+                    dedup_hits: 0,
+                    error: None,
+                    files: Vec::new(),
+                    fingerprints,
+                    queued_at: Instant::now(),
+                },
+            );
+        }
+        st.lanes[priority.lane()].push_back(key.clone());
+        drop(st);
+        self.inner.work_cv.notify_one();
+        Ok(SubmitOutcome { key, deduped: false })
+    }
+
+    /// Current view of a job, or `None` for an unknown key.
+    pub fn status(&self, key: &JobKey) -> Option<JobSnapshot> {
+        let st = self.inner.state.lock().unwrap();
+        st.entries.get(key).map(|e| e.snapshot(key))
+    }
+
+    /// Block until the job reaches a terminal state; `None` for an
+    /// unknown key.
+    pub fn wait(&self, key: &JobKey) -> Option<JobSnapshot> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            match st.entries.get(key) {
+                None => return None,
+                Some(e) if e.status.is_terminal() => return Some(e.snapshot(key)),
+                Some(_) => st = self.inner.done_cv.wait(st).unwrap(),
+            }
+        }
+    }
+
+    /// Cancel a **queued** job. Running or terminal jobs are left alone
+    /// (`false`): a running simulation completes and its result is
+    /// cached — cancellation would only waste the work.
+    pub fn cancel(&self, key: &JobKey) -> bool {
+        let mut st = self.inner.state.lock().unwrap();
+        let Some(e) = st.entries.get_mut(key) else {
+            return false;
+        };
+        if e.status != JobStatus::Queued {
+            return false;
+        }
+        e.status = JobStatus::Cancelled;
+        st.counters.cancelled += 1;
+        drop(st);
+        self.inner.done_cv.notify_all();
+        true
+    }
+
+    /// Block until every queued job has been picked up and every
+    /// running job has finished.
+    pub fn drain(&self) {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            let queued_live = st.lanes.iter().flatten().any(|k| {
+                st.entries
+                    .get(k)
+                    .is_some_and(|e| e.status == JobStatus::Queued)
+            });
+            if !queued_live && st.running == 0 {
+                return;
+            }
+            st = self.inner.done_cv.wait(st).unwrap();
+        }
+    }
+
+    /// Service statistics snapshot (byte-stable modulo the wall-clock
+    /// fields; see [`crate::stats`]).
+    pub fn stats(&self) -> Stats {
+        let st = self.inner.state.lock().unwrap();
+        let mut queue_depth = [0usize; 3];
+        for (lane, depth) in queue_depth.iter_mut().enumerate() {
+            *depth = st.lanes[lane]
+                .iter()
+                .filter(|k| {
+                    st.entries
+                        .get(*k)
+                        .is_some_and(|e| e.status == JobStatus::Queued)
+                })
+                .count();
+        }
+        Stats {
+            queue_depth,
+            running: st.running,
+            completed: st.counters.completed,
+            failed: st.counters.failed,
+            cancelled: st.counters.cancelled,
+            deduped: st.counters.deduped,
+            cache_hits: st.counters.cache_hits,
+            cache_misses: st.counters.cache_misses,
+            per_experiment: st
+                .per_experiment
+                .iter()
+                .map(|(name, (jobs, wall_ms))| ExperimentStat {
+                    experiment: name.clone(),
+                    jobs: *jobs,
+                    cumulative_wall_ms: *wall_ms,
+                })
+                .collect(),
+        }
+    }
+
+    /// Stop the pool: cancel everything still queued, let running jobs
+    /// finish, and join the workers. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.inner.state.lock().unwrap();
+            if !st.shutdown {
+                st.shutdown = true;
+                let keys: Vec<JobKey> = st.lanes.iter().flatten().cloned().collect();
+                for k in keys {
+                    if let Some(e) = st.entries.get_mut(&k) {
+                        if e.status == JobStatus::Queued {
+                            e.status = JobStatus::Cancelled;
+                            st.counters.cancelled += 1;
+                        }
+                    }
+                }
+                for lane in &mut st.lanes {
+                    lane.clear();
+                }
+            }
+        }
+        self.inner.work_cv.notify_all();
+        self.inner.done_cv.notify_all();
+        let handles: Vec<_> = std::mem::take(&mut *self.workers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some((key, job, fingerprints)) = next_job(inner) {
+        run_one(inner, &key, &job, &fingerprints);
+    }
+}
+
+/// Pop the next live queued job, preferring lower lane indices; park on
+/// the work condvar while all lanes are empty. `None` on shutdown.
+fn next_job(inner: &Inner) -> Option<(JobKey, Job, Vec<(String, u64)>)> {
+    let mut st = inner.state.lock().unwrap();
+    loop {
+        if st.shutdown {
+            return None;
+        }
+        let popped = (0..3).find_map(|lane| st.lanes[lane].pop_front());
+        match popped {
+            Some(key) => {
+                let Some(e) = st.entries.get_mut(&key) else {
+                    continue;
+                };
+                if e.status != JobStatus::Queued {
+                    // Cancelled while queued (tombstone), or a stale
+                    // lane entry from a re-armed key: skip.
+                    continue;
+                }
+                e.status = JobStatus::Running;
+                e.queue_wait_ms = e.queued_at.elapsed().as_secs_f64() * 1e3;
+                let picked = (key.clone(), e.job.clone(), e.fingerprints.clone());
+                st.running += 1;
+                return Some(picked);
+            }
+            None => st = inner.work_cv.wait(st).unwrap(),
+        }
+    }
+}
+
+/// Execute (or replay) one job and record its terminal state.
+fn run_one(inner: &Inner, key: &JobKey, job: &Job, fingerprints: &[(String, u64)]) {
+    let started = Instant::now();
+    let (result, cache_hit) = match inner.store.probe(key) {
+        Some(hit) => (
+            Ok(hit.files.iter().map(|(name, _)| name.clone()).collect::<Vec<_>>()),
+            true,
+        ),
+        None => {
+            // Fresh execution. A panicking backend fails the job, not
+            // the worker thread.
+            let (outcome, span) = cxlg_core::mem::rss_span(|| {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    inner.backend.execute(key, job)
+                }))
+                .unwrap_or_else(|_| Err("backend panicked".to_string()))
+            });
+            let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+            match outcome {
+                Ok(output) => {
+                    let mut manifest = manifest_for(
+                        key,
+                        canonical(job, fingerprints),
+                        job.clone(),
+                        fingerprints
+                            .iter()
+                            .map(|(spec, fp)| FingerprintEntry {
+                                spec: spec.clone(),
+                                fingerprint: *fp,
+                            })
+                            .collect(),
+                    );
+                    manifest.wall_ms = wall_ms;
+                    manifest.rss_peak_kb = span.after_kb;
+                    manifest.rss_delta_kb = span.delta_kb();
+                    match inner.store.publish(manifest, &output.files) {
+                        Ok(_) => (
+                            Ok(output.files.iter().map(|(n, _)| n.clone()).collect()),
+                            false,
+                        ),
+                        Err(e) => (Err(format!("result publication failed: {e}")), false),
+                    }
+                }
+                Err(e) => (Err(e), false),
+            }
+        }
+    };
+    let wall_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let mut st = inner.state.lock().unwrap();
+    if cache_hit {
+        st.counters.cache_hits += 1;
+    } else {
+        st.counters.cache_misses += 1;
+    }
+    let exp_stat = st.per_experiment.entry(job.experiment.clone()).or_insert((0, 0.0));
+    exp_stat.0 += 1;
+    exp_stat.1 += wall_ms;
+    match &result {
+        Ok(_) => st.counters.completed += 1,
+        Err(_) => st.counters.failed += 1,
+    }
+    if let Some(e) = st.entries.get_mut(key) {
+        e.cache_hit = cache_hit;
+        e.wall_ms = wall_ms;
+        match result {
+            Ok(files) => {
+                e.status = JobStatus::Done;
+                e.files = files;
+            }
+            Err(msg) => {
+                e.status = JobStatus::Failed;
+                e.error = Some(msg);
+            }
+        }
+    }
+    st.running -= 1;
+    drop(st);
+    inner.done_cv.notify_all();
+}

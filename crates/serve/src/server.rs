@@ -1,0 +1,190 @@
+//! The Unix-socket front end: `cxlg serve --socket=PATH`.
+//!
+//! One listener thread accepts connections; each connection gets its
+//! own handler thread speaking the newline-delimited JSON protocol
+//! ([`crate::proto`]). Blocking ops (`wait`, waiting submits) park the
+//! connection's thread on the scheduler's condvar, so slow jobs never
+//! stall other clients. A `shutdown` request stops the accept loop
+//! (unblocked by a self-connection), cancels everything still queued,
+//! and joins the worker pool.
+
+use crate::job::Job;
+use crate::proto::{self, Request};
+use crate::scheduler::Scheduler;
+use std::io::{BufRead as _, BufReader, Write as _};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Server-side defaults applied to submit requests that omit numeric
+/// fields (the CLI seeds these from `CXLG_SCALE` / `CXLG_SEED` / the
+/// pool size).
+#[derive(Debug, Clone, Copy)]
+pub struct SubmitDefaults {
+    /// Default log2 vertex count.
+    pub scale: u32,
+    /// Default generator seed.
+    pub seed: u64,
+    /// Default recorded thread count.
+    pub threads: usize,
+}
+
+/// A bound, not-yet-running service.
+pub struct Server {
+    listener: UnixListener,
+    socket_path: PathBuf,
+    scheduler: Arc<Scheduler>,
+    defaults: SubmitDefaults,
+}
+
+impl Server {
+    /// Bind the service socket, replacing a stale socket file if one
+    /// exists at `path`.
+    pub fn bind(
+        path: &Path,
+        scheduler: Arc<Scheduler>,
+        defaults: SubmitDefaults,
+    ) -> std::io::Result<Self> {
+        if path.exists() {
+            std::fs::remove_file(path)?;
+        }
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let listener = UnixListener::bind(path)?;
+        Ok(Server {
+            listener,
+            socket_path: path.to_path_buf(),
+            scheduler,
+            defaults,
+        })
+    }
+
+    /// Serve until a client sends `shutdown`. Joins the scheduler's
+    /// worker pool and removes the socket file before returning.
+    pub fn run(self) -> std::io::Result<()> {
+        let stop = Arc::new(AtomicBool::new(false));
+        for stream in self.listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let scheduler = Arc::clone(&self.scheduler);
+            let defaults = self.defaults;
+            let stop = Arc::clone(&stop);
+            let socket_path = self.socket_path.clone();
+            std::thread::spawn(move || {
+                handle_connection(stream, &scheduler, defaults, &stop, &socket_path);
+            });
+        }
+        self.scheduler.shutdown();
+        let _ = std::fs::remove_file(&self.socket_path);
+        Ok(())
+    }
+}
+
+fn handle_connection(
+    stream: UnixStream,
+    scheduler: &Scheduler,
+    defaults: SubmitDefaults,
+    stop: &AtomicBool,
+    socket_path: &Path,
+) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = respond(&line, scheduler, defaults);
+        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+            return;
+        }
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // The accept loop is parked in accept(); poke it awake so
+            // it observes the stop flag and exits.
+            let _ = UnixStream::connect(socket_path);
+            return;
+        }
+    }
+}
+
+/// Answer one request line. Returns the response line and whether the
+/// request asked the service to shut down.
+pub fn respond(line: &str, scheduler: &Scheduler, defaults: SubmitDefaults) -> (String, bool) {
+    let req = match proto::parse_request(line) {
+        Ok(r) => r,
+        Err(e) => return (proto::render_error(&e), false),
+    };
+    let resp = match req {
+        Request::Submit {
+            experiment,
+            scale,
+            seed,
+            threads,
+            priority,
+            wait,
+        } => {
+            let job = Job {
+                experiment,
+                scale: scale.unwrap_or(defaults.scale),
+                seed: seed.unwrap_or(defaults.seed),
+                threads: threads.unwrap_or(defaults.threads),
+            };
+            match scheduler.submit(job, priority) {
+                Err(e) => proto::render_error(&e),
+                Ok(outcome) => {
+                    if wait {
+                        match scheduler.wait(&outcome.key) {
+                            Some(snap) => proto::render_snapshot(&snap),
+                            None => proto::render_error("job vanished while waiting"),
+                        }
+                    } else {
+                        match scheduler.status(&outcome.key) {
+                            Some(snap) => {
+                                proto::render_submitted(&outcome.key, outcome.deduped, snap.status)
+                            }
+                            None => proto::render_error("job vanished after submit"),
+                        }
+                    }
+                }
+            }
+        }
+        Request::Status(key) => match scheduler.status(&key) {
+            Some(snap) => proto::render_snapshot(&snap),
+            None => proto::render_error(&format!("unknown job key `{key}`")),
+        },
+        Request::Wait(key) => match scheduler.wait(&key) {
+            Some(snap) => proto::render_snapshot(&snap),
+            None => proto::render_error(&format!("unknown job key `{key}`")),
+        },
+        Request::Cancel(key) => proto::render_cancelled(scheduler.cancel(&key)),
+        Request::Stats => proto::render_stats(&scheduler.stats()),
+        Request::Shutdown => return (proto::render_shutdown(), true),
+    };
+    (resp, false)
+}
+
+/// Client helper: connect to `socket`, send one request line, read one
+/// response line. Used by `cxlg submit` / `cxlg serve --stats` and the
+/// service tests.
+pub fn request_one(socket: &Path, line: &str) -> std::io::Result<String> {
+    let mut stream = UnixStream::connect(socket)?;
+    writeln!(stream, "{line}")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response)?;
+    Ok(response.trim_end().to_string())
+}

@@ -1,0 +1,184 @@
+//! Service statistics: the `stats` request / `cxlg serve --stats`
+//! payload.
+//!
+//! The snapshot is **byte-stable** for a given sequence of scheduler
+//! events — fixed field order, sorted per-experiment table — with the
+//! same exemption the campaign manifest carries: the cumulative
+//! wall-clock fields are host telemetry and are the only
+//! nondeterministic bytes in the rendering.
+
+use serde::Value;
+
+/// Cumulative per-experiment execution record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentStat {
+    /// Experiment name.
+    pub experiment: String,
+    /// Jobs that reached a terminal executed state (hits and misses).
+    pub jobs: u64,
+    /// Summed execution wall-clock (ms) — telemetry, exempt from
+    /// byte-stability.
+    pub cumulative_wall_ms: f64,
+}
+
+/// Point-in-time service counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stats {
+    /// Live queued entries per lane, in `[high, normal, low]` order.
+    pub queue_depth: [usize; 3],
+    /// Jobs currently executing.
+    pub running: usize,
+    /// Jobs that reached `Done`.
+    pub completed: u64,
+    /// Jobs that reached `Failed`.
+    pub failed: u64,
+    /// Jobs cancelled while queued.
+    pub cancelled: u64,
+    /// Submissions collapsed by singleflight.
+    pub deduped: u64,
+    /// Completions served from the result store.
+    pub cache_hits: u64,
+    /// Completions that required fresh execution.
+    pub cache_misses: u64,
+    /// Per-experiment cumulative table, sorted by experiment name.
+    pub per_experiment: Vec<ExperimentStat>,
+}
+
+impl Stats {
+    /// Fraction of executed jobs served from cache (0 when none ran).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// The snapshot as a JSON value with fixed key order.
+    pub fn to_value(&self) -> Value {
+        Value::Map(vec![
+            (
+                "queue_depth".to_string(),
+                Value::Map(vec![
+                    ("high".to_string(), Value::U64(self.queue_depth[0] as u64)),
+                    ("normal".to_string(), Value::U64(self.queue_depth[1] as u64)),
+                    ("low".to_string(), Value::U64(self.queue_depth[2] as u64)),
+                ]),
+            ),
+            ("running".to_string(), Value::U64(self.running as u64)),
+            ("completed".to_string(), Value::U64(self.completed)),
+            ("failed".to_string(), Value::U64(self.failed)),
+            ("cancelled".to_string(), Value::U64(self.cancelled)),
+            ("deduped".to_string(), Value::U64(self.deduped)),
+            ("cache_hits".to_string(), Value::U64(self.cache_hits)),
+            ("cache_misses".to_string(), Value::U64(self.cache_misses)),
+            ("hit_ratio".to_string(), Value::F64(self.hit_ratio())),
+            (
+                "per_experiment".to_string(),
+                Value::Array(
+                    self.per_experiment
+                        .iter()
+                        .map(|e| {
+                            Value::Map(vec![
+                                ("experiment".to_string(), Value::Str(e.experiment.clone())),
+                                ("jobs".to_string(), Value::U64(e.jobs)),
+                                // Telemetry: the one exempt field.
+                                (
+                                    "cumulative_wall_ms".to_string(),
+                                    Value::F64(e.cumulative_wall_ms),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Pretty-rendered JSON snapshot.
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(&self.to_value()).expect("serialize stats")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Stats {
+        Stats {
+            queue_depth: [1, 2, 0],
+            running: 1,
+            completed: 5,
+            failed: 1,
+            cancelled: 2,
+            deduped: 3,
+            cache_hits: 4,
+            cache_misses: 1,
+            per_experiment: vec![
+                ExperimentStat {
+                    experiment: "fig3".to_string(),
+                    jobs: 3,
+                    cumulative_wall_ms: 12.5,
+                },
+                ExperimentStat {
+                    experiment: "table1".to_string(),
+                    jobs: 2,
+                    cumulative_wall_ms: 40.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn hit_ratio_handles_zero_and_mixes() {
+        let mut s = sample();
+        assert!((s.hit_ratio() - 0.8).abs() < 1e-12);
+        s.cache_hits = 0;
+        s.cache_misses = 0;
+        assert_eq!(s.hit_ratio(), 0.0);
+    }
+
+    #[test]
+    fn rendering_is_byte_stable_modulo_wall_fields() {
+        let a = sample().render_json();
+        let mut other = sample();
+        // Only the exempt telemetry differs.
+        other.per_experiment[0].cumulative_wall_ms = 99.0;
+        let b = other.render_json();
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("cumulative_wall_ms"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_ne!(a, b);
+        assert_eq!(strip(&a), strip(&b), "non-wall bytes must be identical");
+        // And rendering the same snapshot twice is bytewise stable.
+        assert_eq!(a, sample().render_json());
+    }
+
+    #[test]
+    fn value_field_order_is_pinned() {
+        let Value::Map(m) = sample().to_value() else {
+            panic!("stats must render a map")
+        };
+        let keys: Vec<&str> = m.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "queue_depth",
+                "running",
+                "completed",
+                "failed",
+                "cancelled",
+                "deduped",
+                "cache_hits",
+                "cache_misses",
+                "hit_ratio",
+                "per_experiment"
+            ]
+        );
+    }
+}

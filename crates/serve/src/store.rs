@@ -1,0 +1,418 @@
+//! The content-addressed result store.
+//!
+//! One directory per [`JobKey`] under the store root:
+//!
+//! ```text
+//! <root>/<jobkey>/manifest.json   job identity, integrity table, telemetry
+//! <root>/<jobkey>/<name>          one file per result payload (verbatim bytes)
+//! ```
+//!
+//! **Atomic publication.** A result is staged into a hidden
+//! `.tmp-<key>-<pid>` directory and `rename`d into place, so a reader
+//! never observes a half-written entry: either `<root>/<jobkey>` exists
+//! with its complete manifest and payloads, or it does not exist. When
+//! two publishers race (possible across processes — in-process the
+//! scheduler's singleflight already collapses them), the first rename
+//! wins and the loser discards its staging directory; both executions
+//! produced byte-identical payloads by the determinism contract, so
+//! which one lands is unobservable.
+//!
+//! **Integrity on read.** [`ResultStore::probe`] re-hashes every
+//! payload against the manifest's FNV-64 + length table and
+//! cross-checks the recorded key. Any mismatch — truncation, bit rot,
+//! a manually edited file — removes the entry and reports a miss, so a
+//! corrupted cache entry is re-executed, never served.
+//!
+//! **Eviction under readers.** `probe` copies payload bytes out of the
+//! store before returning, so evicting an entry while a previous reader
+//! still holds its [`StoredResult`] is safe: the reader keeps its
+//! verified copy; the next probe simply misses.
+
+use crate::job::{fnv64, Job, JobKey};
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One graph input binding recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FingerprintEntry {
+    /// Dataset label (name, degree parameter, seed).
+    pub spec: String,
+    /// `Csr::fingerprint` of the built graph.
+    pub fingerprint: u64,
+}
+
+/// Integrity record for one stored payload file.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileEntry {
+    /// Plain file name inside the entry directory.
+    pub name: String,
+    /// Payload length in bytes.
+    pub bytes: u64,
+    /// FNV-64 of the payload bytes.
+    pub fnv64: u64,
+}
+
+/// The per-entry manifest. Everything except the telemetry block
+/// (`wall_ms`, `rss_*`) is byte-stable for a given job — the same
+/// exemption the campaign manifest's wall-clock fields carry.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoredManifest {
+    /// The entry's own key (cross-checked on read).
+    pub key: String,
+    /// Human-auditable canonical string the key hashes.
+    pub canonical: String,
+    /// The job this result answers.
+    pub job: Job,
+    /// Graph inputs the key binds, sorted by label.
+    pub fingerprints: Vec<FingerprintEntry>,
+    /// Integrity table, sorted by name. Filled in by
+    /// [`ResultStore::publish`].
+    pub files: Vec<FileEntry>,
+    /// Whether this entry was produced by a cache hit replay (always
+    /// `false` in the store; the scheduler reports hit/miss per run).
+    pub cache_hit: bool,
+    /// Execution wall-clock in milliseconds — telemetry, exempt from
+    /// byte-stability.
+    pub wall_ms: f64,
+    /// RSS attribution semantics: `"process-peak-delta"`. The numbers
+    /// below are growth of the *process-wide* high-water mark during
+    /// this job — an upper bound on the job's own footprint when other
+    /// jobs run concurrently, and 0 when the process peak predates the
+    /// job (see `cxlg_core::mem::rss_span`).
+    pub rss_semantics: String,
+    /// Process peak RSS (kB) when the job finished — telemetry.
+    pub rss_peak_kb: u64,
+    /// Growth of the process high-water mark during the job (kB) —
+    /// telemetry.
+    pub rss_delta_kb: u64,
+}
+
+/// A verified cache hit: the manifest plus every payload, bytes copied
+/// out of the store (eviction-safe).
+#[derive(Debug, Clone)]
+pub struct StoredResult {
+    /// The entry's manifest.
+    pub manifest: StoredManifest,
+    /// `(name, verbatim bytes)` per payload, in manifest order.
+    pub files: Vec<(String, Vec<u8>)>,
+}
+
+/// Content-addressed store rooted at one directory.
+pub struct ResultStore {
+    root: PathBuf,
+}
+
+impl ResultStore {
+    /// Open (creating if needed) a store rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(ResultStore { root })
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_dir(&self, key: &JobKey) -> PathBuf {
+        self.root.join(key.as_str())
+    }
+
+    /// Stage and atomically publish an entry. Returns `Ok(false)` when
+    /// the entry already exists (first writer won a race); the staged
+    /// copy is discarded. Payload names must be plain file names and
+    /// must not collide with `manifest.json`.
+    pub fn publish(
+        &self,
+        mut manifest: StoredManifest,
+        files: &[(String, Vec<u8>)],
+    ) -> std::io::Result<bool> {
+        let key = JobKey::parse(&manifest.key)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+        for (name, _) in files {
+            if name.is_empty()
+                || name == "manifest.json"
+                || name.contains('/')
+                || name.contains('\\')
+                || name.starts_with('.')
+            {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("illegal payload name `{name}`"),
+                ));
+            }
+        }
+        manifest.files = files
+            .iter()
+            .map(|(name, bytes)| FileEntry {
+                name: name.clone(),
+                bytes: bytes.len() as u64,
+                fnv64: fnv64(bytes),
+            })
+            .collect();
+        manifest.files.sort_by(|a, b| a.name.cmp(&b.name));
+
+        let dest = self.entry_dir(&key);
+        if dest.exists() {
+            return Ok(false);
+        }
+        let tmp = self
+            .root
+            .join(format!(".tmp-{}-{}", key.as_str(), std::process::id()));
+        let _ = std::fs::remove_dir_all(&tmp);
+        std::fs::create_dir_all(&tmp)?;
+        let write = |path: &Path, bytes: &[u8]| -> std::io::Result<()> {
+            let mut f = std::fs::File::create(path)?;
+            f.write_all(bytes)
+        };
+        let manifest_json = serde_json::to_string_pretty(&manifest)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        write(&tmp.join("manifest.json"), manifest_json.as_bytes())?;
+        for (name, bytes) in files {
+            write(&tmp.join(name), bytes)?;
+        }
+        match std::fs::rename(&tmp, &dest) {
+            Ok(()) => Ok(true),
+            Err(_) if dest.exists() => {
+                // Lost the publication race: keep the winner's entry.
+                let _ = std::fs::remove_dir_all(&tmp);
+                Ok(false)
+            }
+            Err(e) => {
+                let _ = std::fs::remove_dir_all(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    /// Look a key up, verifying integrity. A verified entry comes back
+    /// with its payload bytes copied out; a missing entry is `None`; a
+    /// corrupted entry (bad manifest, wrong key, truncated or altered
+    /// payload, missing file) is **removed** and reported as `None`, so
+    /// the caller re-executes instead of serving bad bytes.
+    pub fn probe(&self, key: &JobKey) -> Option<StoredResult> {
+        let dir = self.entry_dir(key);
+        if !dir.is_dir() {
+            return None;
+        }
+        match self.read_verified(key, &dir) {
+            Some(hit) => Some(hit),
+            None => {
+                // Quarantine-by-deletion: a later submit re-executes.
+                let _ = std::fs::remove_dir_all(&dir);
+                None
+            }
+        }
+    }
+
+    fn read_verified(&self, key: &JobKey, dir: &Path) -> Option<StoredResult> {
+        let manifest_text = std::fs::read_to_string(dir.join("manifest.json")).ok()?;
+        let manifest: StoredManifest = serde_json::from_str(&manifest_text).ok()?;
+        if manifest.key != key.as_str() {
+            return None;
+        }
+        let mut files = Vec::with_capacity(manifest.files.len());
+        for entry in &manifest.files {
+            let bytes = std::fs::read(dir.join(&entry.name)).ok()?;
+            if bytes.len() as u64 != entry.bytes || fnv64(&bytes) != entry.fnv64 {
+                return None;
+            }
+            files.push((entry.name.clone(), bytes));
+        }
+        Some(StoredResult { manifest, files })
+    }
+
+    /// Remove an entry. Returns whether one existed. Safe under
+    /// concurrent readers: previously probed results keep their copies.
+    pub fn evict(&self, key: &JobKey) -> bool {
+        let dir = self.entry_dir(key);
+        dir.is_dir() && std::fs::remove_dir_all(&dir).is_ok()
+    }
+
+    /// Number of (directory-level) entries currently in the store.
+    /// Staging directories are excluded.
+    pub fn len(&self) -> usize {
+        self.keys().len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All entry keys, sorted (deterministic listing order).
+    pub fn keys(&self) -> Vec<JobKey> {
+        let mut out = Vec::new();
+        if let Ok(entries) = std::fs::read_dir(&self.root) {
+            for e in entries.flatten() {
+                if let Some(name) = e.file_name().to_str() {
+                    if let Ok(key) = JobKey::parse(name) {
+                        if e.path().is_dir() {
+                            out.push(key);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
+/// A manifest with empty telemetry, ready for [`ResultStore::publish`]
+/// to fill the integrity table.
+pub fn manifest_for(
+    key: &JobKey,
+    canonical: String,
+    job: Job,
+    fingerprints: Vec<FingerprintEntry>,
+) -> StoredManifest {
+    StoredManifest {
+        key: key.as_str().to_string(),
+        canonical,
+        job,
+        fingerprints,
+        files: Vec::new(),
+        cache_hit: false,
+        wall_ms: 0.0,
+        rss_semantics: "process-peak-delta".to_string(),
+        rss_peak_kb: 0,
+        rss_delta_kb: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_store(tag: &str) -> ResultStore {
+        let dir = std::env::temp_dir().join(format!(
+            "cxlg-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultStore::new(dir).unwrap()
+    }
+
+    fn job() -> Job {
+        Job {
+            experiment: "fig3".to_string(),
+            scale: 8,
+            seed: 1,
+            threads: 1,
+        }
+    }
+
+    fn key() -> JobKey {
+        JobKey::derive(&job(), &[("urand8".to_string(), 7)])
+    }
+
+    fn publish_one(store: &ResultStore) -> JobKey {
+        let k = key();
+        let m = manifest_for(&k, "canon".into(), job(), Vec::new());
+        let files = vec![("fig3.json".to_string(), b"{\"x\":1}".to_vec())];
+        assert!(store.publish(m, &files).unwrap());
+        k
+    }
+
+    #[test]
+    fn publish_then_probe_round_trips_bytes() {
+        let store = tmp_store("roundtrip");
+        let k = publish_one(&store);
+        let hit = store.probe(&k).expect("published entry must probe");
+        assert_eq!(hit.manifest.key, k.as_str());
+        assert_eq!(hit.files, vec![("fig3.json".to_string(), b"{\"x\":1}".to_vec())]);
+        assert_eq!(hit.manifest.files[0].bytes, 7);
+        assert_eq!(store.keys(), vec![k]);
+    }
+
+    #[test]
+    fn double_publish_keeps_the_first_entry() {
+        let store = tmp_store("firstwins");
+        let k = publish_one(&store);
+        let m = manifest_for(&k, "canon".into(), job(), Vec::new());
+        let other = vec![("fig3.json".to_string(), b"{\"x\":2}".to_vec())];
+        assert!(!store.publish(m, &other).unwrap(), "second publish must lose");
+        let hit = store.probe(&k).unwrap();
+        assert_eq!(hit.files[0].1, b"{\"x\":1}".to_vec());
+        // No staging litter left behind.
+        let tmp_left = std::fs::read_dir(store.root())
+            .unwrap()
+            .flatten()
+            .any(|e| e.file_name().to_string_lossy().starts_with(".tmp-"));
+        assert!(!tmp_left, "staging directory leaked");
+    }
+
+    #[test]
+    fn corrupted_payload_is_detected_and_dropped() {
+        let store = tmp_store("corrupt");
+        let k = publish_one(&store);
+        let payload = store.root().join(k.as_str()).join("fig3.json");
+        std::fs::write(&payload, b"{\"x\":9}").unwrap(); // same length, wrong bytes
+        assert!(store.probe(&k).is_none(), "altered payload must miss");
+        assert!(!store.root().join(k.as_str()).exists(), "corrupt entry must be removed");
+        // Re-publication after quarantine works.
+        publish_one(&store);
+        assert!(store.probe(&k).is_some());
+    }
+
+    #[test]
+    fn truncated_payload_is_detected_and_dropped() {
+        let store = tmp_store("truncate");
+        let k = publish_one(&store);
+        let payload = store.root().join(k.as_str()).join("fig3.json");
+        std::fs::write(&payload, b"{\"x\"").unwrap();
+        assert!(store.probe(&k).is_none());
+        assert!(!store.root().join(k.as_str()).exists());
+    }
+
+    #[test]
+    fn mangled_manifest_is_detected_and_dropped() {
+        let store = tmp_store("manifest");
+        let k = publish_one(&store);
+        std::fs::write(store.root().join(k.as_str()).join("manifest.json"), b"not json").unwrap();
+        assert!(store.probe(&k).is_none());
+        assert!(!store.root().join(k.as_str()).exists());
+    }
+
+    #[test]
+    fn missing_payload_is_detected_and_dropped() {
+        let store = tmp_store("missing");
+        let k = publish_one(&store);
+        std::fs::remove_file(store.root().join(k.as_str()).join("fig3.json")).unwrap();
+        assert!(store.probe(&k).is_none());
+    }
+
+    #[test]
+    fn eviction_is_safe_under_a_reader() {
+        let store = tmp_store("evict");
+        let k = publish_one(&store);
+        let held = store.probe(&k).unwrap();
+        assert!(store.evict(&k), "entry must evict");
+        // The reader's copy is intact after eviction…
+        assert_eq!(held.files[0].1, b"{\"x\":1}".to_vec());
+        // …and the store misses cleanly.
+        assert!(store.probe(&k).is_none());
+        assert!(!store.evict(&k), "double eviction reports absence");
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn publish_rejects_illegal_payload_names() {
+        let store = tmp_store("names");
+        let k = key();
+        for bad in ["", "manifest.json", "a/b.json", "..", ".hidden"] {
+            let m = manifest_for(&k, "canon".into(), job(), Vec::new());
+            let files = vec![(bad.to_string(), Vec::new())];
+            assert!(store.publish(m, &files).is_err(), "name `{bad}` must be rejected");
+        }
+    }
+
+    #[test]
+    fn probe_of_unknown_key_is_a_plain_miss() {
+        let store = tmp_store("unknown");
+        assert!(store.probe(&key()).is_none());
+    }
+}

@@ -1,0 +1,322 @@
+//! Scheduler contract tests: singleflight dedup (the build-count
+//! assertion mirroring `tests/campaign_manifest.rs`), priority-lane
+//! drain order, queued-job cancellation, failure + re-arm, and
+//! cache-first execution across scheduler lifetimes.
+
+use cxlg_serve::job::{Job, Priority};
+use cxlg_serve::scheduler::{JobBackend, JobOutput, JobStatus, Scheduler};
+use cxlg_serve::store::ResultStore;
+use cxlg_serve::JobKey;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Test backend: counts executions, records execution order, can hold
+/// jobs at a gate and can be told to fail.
+struct StubBackend {
+    execs: AtomicU64,
+    order: Mutex<Vec<String>>,
+    gate: (Mutex<bool>, Condvar),
+    gated: AtomicBool,
+    fail: AtomicBool,
+}
+
+impl StubBackend {
+    fn new() -> Arc<Self> {
+        Arc::new(StubBackend {
+            execs: AtomicU64::new(0),
+            order: Mutex::new(Vec::new()),
+            gate: (Mutex::new(false), Condvar::new()),
+            gated: AtomicBool::new(false),
+            fail: AtomicBool::new(false),
+        })
+    }
+
+    fn hold_next(&self) {
+        *self.gate.0.lock().unwrap() = false;
+        self.gated.store(true, Ordering::SeqCst);
+    }
+
+    fn release(&self) {
+        *self.gate.0.lock().unwrap() = true;
+        self.gate.1.notify_all();
+    }
+}
+
+impl JobBackend for StubBackend {
+    fn fingerprints(&self, job: &Job) -> Result<Vec<(String, u64)>, String> {
+        Ok(vec![(format!("ds{}", job.scale), 0xF00D)])
+    }
+
+    fn execute(&self, _key: &JobKey, job: &Job) -> Result<JobOutput, String> {
+        if self.gated.swap(false, Ordering::SeqCst) {
+            let mut open = self.gate.0.lock().unwrap();
+            while !*open {
+                open = self.gate.1.wait(open).unwrap();
+            }
+        }
+        self.order.lock().unwrap().push(job.experiment.clone());
+        self.execs.fetch_add(1, Ordering::SeqCst);
+        if self.fail.load(Ordering::SeqCst) {
+            return Err("stub failure".to_string());
+        }
+        Ok(JobOutput {
+            files: vec![(
+                format!("{}.json", job.experiment),
+                format!("{{\"result\":\"{}@{}\"}}", job.experiment, job.scale).into_bytes(),
+            )],
+        })
+    }
+}
+
+fn job(name: &str) -> Job {
+    Job {
+        experiment: name.to_string(),
+        scale: 8,
+        seed: 1,
+        threads: 1,
+    }
+}
+
+fn tmp_store(tag: &str) -> ResultStore {
+    let dir = std::env::temp_dir().join(format!(
+        "cxlg-sched-test-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    ResultStore::new(dir).unwrap()
+}
+
+/// Spin until `key` reaches `want` (workers set `Running` before they
+/// enter the backend, so this orders the test against pickup races).
+fn await_status(sched: &Scheduler, key: &JobKey, want: JobStatus) {
+    while sched.status(key).map(|s| s.status) != Some(want) {
+        std::thread::yield_now();
+    }
+}
+
+#[test]
+fn concurrent_identical_submissions_execute_once() {
+    let backend = StubBackend::new();
+    let sched = Scheduler::new(tmp_store("singleflight"), backend.clone(), 4);
+    // 8 threads race the same job in; singleflight must collapse them.
+    let keys: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let sched = &sched;
+                s.spawn(move || sched.submit(job("fig3"), Priority::Normal).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let key = keys[0].key.clone();
+    assert!(keys.iter().all(|o| o.key == key), "all submissions share one key");
+    assert_eq!(
+        keys.iter().filter(|o| o.deduped).count(),
+        7,
+        "exactly one submission enqueues; seven collapse"
+    );
+    let snap = sched.wait(&key).expect("job must complete");
+    assert_eq!(snap.status, JobStatus::Done);
+    assert_eq!(snap.dedup_hits, 7);
+    assert_eq!(
+        backend.execs.load(Ordering::SeqCst),
+        1,
+        "singleflight must execute exactly once"
+    );
+    let stats = sched.stats();
+    assert_eq!(stats.deduped, 7);
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.cache_misses, 1);
+}
+
+#[test]
+fn priority_lanes_drain_high_before_normal_before_low() {
+    let backend = StubBackend::new();
+    let sched = Scheduler::new(tmp_store("priority"), backend.clone(), 1);
+    // Occupy the single worker with a gated job, then queue one job per
+    // lane in worst-case submission order (low first).
+    backend.hold_next();
+    let gate = sched.submit(job("gate"), Priority::Normal).unwrap();
+    // Only queue the rest once the worker is pinned on the gate job, so
+    // lane order (not pickup timing) decides what runs next.
+    await_status(&sched, &gate.key, JobStatus::Running);
+    sched.submit(job("backfill"), Priority::Low).unwrap();
+    sched.submit(job("routine"), Priority::Normal).unwrap();
+    sched.submit(job("urgent"), Priority::High).unwrap();
+    backend.release();
+    sched.drain();
+    let order = backend.order.lock().unwrap().clone();
+    assert_eq!(order, vec!["gate", "urgent", "routine", "backfill"]);
+    let stats = sched.stats();
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.queue_depth, [0, 0, 0]);
+}
+
+#[test]
+fn queued_jobs_cancel_but_running_and_done_do_not() {
+    let backend = StubBackend::new();
+    let sched = Scheduler::new(tmp_store("cancel"), backend.clone(), 1);
+    backend.hold_next();
+    let gate = sched.submit(job("gate"), Priority::Normal).unwrap();
+    await_status(&sched, &gate.key, JobStatus::Running);
+    let doomed = sched.submit(job("doomed"), Priority::Normal).unwrap();
+    assert!(sched.cancel(&doomed.key), "queued job must cancel");
+    assert!(!sched.cancel(&doomed.key), "double cancel is a no-op");
+    let snap = sched.wait(&doomed.key).unwrap();
+    assert_eq!(snap.status, JobStatus::Cancelled);
+    backend.release();
+    let done = sched.wait(&gate.key).unwrap();
+    assert_eq!(done.status, JobStatus::Done);
+    assert!(!sched.cancel(&gate.key), "done job must not cancel");
+    sched.drain();
+    assert_eq!(
+        backend.execs.load(Ordering::SeqCst),
+        1,
+        "the cancelled job must never execute"
+    );
+    assert_eq!(sched.stats().cancelled, 1);
+    // Unknown keys don't cancel.
+    assert!(!sched.cancel(&JobKey::parse("0123456789abcdef").unwrap()));
+}
+
+#[test]
+fn failed_jobs_report_the_error_and_rearm_on_resubmit() {
+    let backend = StubBackend::new();
+    backend.fail.store(true, Ordering::SeqCst);
+    let sched = Scheduler::new(tmp_store("fail"), backend.clone(), 1);
+    let first = sched.submit(job("flaky"), Priority::Normal).unwrap();
+    let snap = sched.wait(&first.key).unwrap();
+    assert_eq!(snap.status, JobStatus::Failed);
+    assert_eq!(snap.error.as_deref(), Some("stub failure"));
+    assert_eq!(sched.stats().failed, 1);
+    // Nothing corrupt lands in the store.
+    assert!(sched.store().probe(&first.key).is_none());
+    // A resubmission re-arms instead of deduping.
+    backend.fail.store(false, Ordering::SeqCst);
+    let second = sched.submit(job("flaky"), Priority::Normal).unwrap();
+    assert_eq!(second.key, first.key);
+    assert!(!second.deduped, "failed entries re-arm, not dedup");
+    let snap = sched.wait(&second.key).unwrap();
+    assert_eq!(snap.status, JobStatus::Done);
+    assert_eq!(backend.execs.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn results_replay_from_the_store_across_scheduler_lifetimes() {
+    let backend = StubBackend::new();
+    let dir = std::env::temp_dir().join(format!(
+        "cxlg-sched-test-replay-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let sched = Scheduler::new(ResultStore::new(&dir).unwrap(), backend.clone(), 2);
+    let first = sched.submit(job("fig3"), Priority::Normal).unwrap();
+    let snap = sched.wait(&first.key).unwrap();
+    assert_eq!(snap.status, JobStatus::Done);
+    assert!(!snap.cache_hit, "first run is a miss");
+    assert_eq!(snap.files, vec!["fig3.json".to_string()]);
+    sched.shutdown();
+
+    // A fresh scheduler over the same store serves the job from cache.
+    let sched = Scheduler::new(ResultStore::new(&dir).unwrap(), backend.clone(), 2);
+    let second = sched.submit(job("fig3"), Priority::Normal).unwrap();
+    assert_eq!(second.key, first.key, "same job, same key across processes");
+    let snap = sched.wait(&second.key).unwrap();
+    assert_eq!(snap.status, JobStatus::Done);
+    assert!(snap.cache_hit, "second lifetime must hit the store");
+    assert_eq!(
+        backend.execs.load(Ordering::SeqCst),
+        1,
+        "a cache hit must not re-execute"
+    );
+    let stats = sched.stats();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 0);
+    assert!((stats.hit_ratio() - 1.0).abs() < 1e-12);
+
+    // The stored bytes are the execution's bytes, verbatim.
+    let hit = sched.store().probe(&first.key).unwrap();
+    assert_eq!(hit.files[0].1, b"{\"result\":\"fig3@8\"}".to_vec());
+    assert_eq!(hit.manifest.job.experiment, "fig3");
+    assert_eq!(hit.manifest.fingerprints[0].spec, "ds8");
+    assert_eq!(hit.manifest.fingerprints[0].fingerprint, 0xF00D);
+    assert_eq!(hit.manifest.rss_semantics, "process-peak-delta");
+}
+
+#[test]
+fn a_corrupted_store_entry_is_reexecuted_not_served() {
+    let backend = StubBackend::new();
+    let dir = std::env::temp_dir().join(format!(
+        "cxlg-sched-test-corrupt-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let sched = Scheduler::new(ResultStore::new(&dir).unwrap(), backend.clone(), 1);
+    let key = sched.submit(job("fig3"), Priority::Normal).unwrap().key;
+    sched.wait(&key).unwrap();
+    sched.shutdown();
+    assert_eq!(backend.execs.load(Ordering::SeqCst), 1);
+
+    // Tamper with the stored payload (same length, different bytes).
+    let payload = dir.join(key.as_str()).join("fig3.json");
+    let mut bytes = std::fs::read(&payload).unwrap();
+    bytes[2] ^= 0xFF;
+    std::fs::write(&payload, &bytes).unwrap();
+
+    let sched = Scheduler::new(ResultStore::new(&dir).unwrap(), backend.clone(), 1);
+    let snap = {
+        let outcome = sched.submit(job("fig3"), Priority::Normal).unwrap();
+        sched.wait(&outcome.key).unwrap()
+    };
+    assert_eq!(snap.status, JobStatus::Done);
+    assert!(!snap.cache_hit, "corruption must force re-execution");
+    assert_eq!(backend.execs.load(Ordering::SeqCst), 2);
+    // The re-executed entry verifies again.
+    let hit = sched.store().probe(&key).expect("repaired entry must probe");
+    assert_eq!(hit.files[0].1, b"{\"result\":\"fig3@8\"}".to_vec());
+}
+
+#[test]
+fn per_experiment_stats_accumulate_in_sorted_order() {
+    let backend = StubBackend::new();
+    let sched = Scheduler::new(tmp_store("stats"), backend.clone(), 2);
+    for name in ["zeta", "alpha", "alpha"] {
+        let o = sched.submit(job(name), Priority::Normal).unwrap();
+        sched.wait(&o.key).unwrap();
+    }
+    let stats = sched.stats();
+    // "alpha" submitted twice: second submission deduped onto the done
+    // entry, so only one executed job per distinct key.
+    assert_eq!(stats.deduped, 1);
+    let names: Vec<&str> = stats
+        .per_experiment
+        .iter()
+        .map(|e| e.experiment.as_str())
+        .collect();
+    assert_eq!(names, vec!["alpha", "zeta"], "table must sort by name");
+    assert!(stats.per_experiment.iter().all(|e| e.jobs == 1));
+}
+
+#[test]
+fn shutdown_cancels_queued_work_and_rejects_new_submissions() {
+    let backend = StubBackend::new();
+    let sched = Scheduler::new(tmp_store("shutdown"), backend.clone(), 1);
+    backend.hold_next();
+    let gate = sched.submit(job("gate"), Priority::Normal).unwrap();
+    await_status(&sched, &gate.key, JobStatus::Running);
+    let queued = sched.submit(job("stranded"), Priority::Low).unwrap();
+    // Shut down while the worker is pinned: the queued job must be
+    // cancelled, the running one allowed to finish.
+    let joiner = {
+        let sched = Arc::clone(&sched);
+        std::thread::spawn(move || sched.shutdown())
+    };
+    let snap = sched.wait(&queued.key).unwrap();
+    assert_eq!(snap.status, JobStatus::Cancelled, "queued work is cancelled on shutdown");
+    backend.release();
+    joiner.join().unwrap();
+    assert_eq!(sched.wait(&gate.key).unwrap().status, JobStatus::Done);
+    assert!(sched.submit(job("late"), Priority::Normal).is_err());
+}

@@ -1,0 +1,126 @@
+//! End-to-end service test: a real `UnixListener` front end over a stub
+//! backend, exercised through the newline-delimited JSON protocol
+//! exactly as `cxlg submit` drives it.
+
+#![cfg(unix)]
+
+use cxlg_serve::job::Job;
+use cxlg_serve::scheduler::{JobBackend, JobOutput, Scheduler};
+use cxlg_serve::server::{request_one, Server, SubmitDefaults};
+use cxlg_serve::store::ResultStore;
+use cxlg_serve::JobKey;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+struct EchoBackend {
+    execs: AtomicU64,
+}
+
+impl JobBackend for EchoBackend {
+    fn fingerprints(&self, job: &Job) -> Result<Vec<(String, u64)>, String> {
+        Ok(vec![(format!("ds{}", job.scale), 0xBEEF)])
+    }
+
+    fn execute(&self, _key: &JobKey, job: &Job) -> Result<JobOutput, String> {
+        self.execs.fetch_add(1, Ordering::SeqCst);
+        Ok(JobOutput {
+            files: vec![(
+                format!("{}.json", job.experiment),
+                format!("{{\"experiment\":\"{}\"}}", job.experiment).into_bytes(),
+            )],
+        })
+    }
+}
+
+fn short_socket_path(tag: &str) -> PathBuf {
+    // Unix socket paths are length-limited (~108 bytes); stay in /tmp.
+    std::env::temp_dir().join(format!("cxlg-{tag}-{}.sock", std::process::id()))
+}
+
+fn field<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    // Good enough for flat compact responses in a test.
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    let end = rest
+        .char_indices()
+        .scan(false, |in_str, (i, c)| {
+            if c == '"' {
+                *in_str = !*in_str;
+            }
+            if !*in_str && (c == ',' || c == '}') {
+                Some(Some(i))
+            } else {
+                Some(None)
+            }
+        })
+        .flatten()
+        .next()?;
+    Some(rest[..end].trim_matches('"'))
+}
+
+#[test]
+fn service_round_trip_over_a_real_socket() {
+    let store_dir = std::env::temp_dir().join(format!("cxlg-service-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let backend = Arc::new(EchoBackend {
+        execs: AtomicU64::new(0),
+    });
+    let sched = Scheduler::new(ResultStore::new(&store_dir).unwrap(), backend.clone(), 2);
+    let socket = short_socket_path("svc");
+    let defaults = SubmitDefaults {
+        scale: 8,
+        seed: 0x5EED,
+        threads: 1,
+    };
+    let server = Server::bind(&socket, Arc::clone(&sched), defaults).unwrap();
+    let service = std::thread::spawn(move || server.run());
+
+    // Waiting submit completes in one round trip; defaults fill in.
+    let resp = request_one(
+        &socket,
+        r#"{"op":"submit","experiment":"fig3","wait":true}"#,
+    )
+    .unwrap();
+    assert_eq!(field(&resp, "ok"), Some("true"), "resp: {resp}");
+    assert_eq!(field(&resp, "status"), Some("done"));
+    assert_eq!(field(&resp, "experiment"), Some("fig3"));
+    assert_eq!(field(&resp, "scale"), Some("8"), "server default scale");
+    assert_eq!(field(&resp, "cache_hit"), Some("false"));
+    let key = field(&resp, "key").unwrap().to_string();
+
+    // Second identical submit collapses onto the done entry
+    // (singleflight) — no re-execution, no second store entry.
+    let resp = request_one(
+        &socket,
+        r#"{"op":"submit","experiment":"fig3","wait":true}"#,
+    )
+    .unwrap();
+    assert_eq!(field(&resp, "key"), Some(key.as_str()), "same job, same key");
+    assert_eq!(field(&resp, "status"), Some("done"));
+    assert_eq!(backend.execs.load(Ordering::SeqCst), 1, "deduped, not re-run");
+
+    // Status by key; unknown keys and malformed lines error without
+    // killing the connection loop.
+    let resp = request_one(&socket, &format!(r#"{{"op":"status","key":"{key}"}}"#)).unwrap();
+    assert_eq!(field(&resp, "status"), Some("done"));
+    let resp = request_one(&socket, r#"{"op":"status","key":"ffffffffffffffff"}"#).unwrap();
+    assert_eq!(field(&resp, "ok"), Some("false"));
+    let resp = request_one(&socket, "not json at all").unwrap();
+    assert_eq!(field(&resp, "ok"), Some("false"));
+
+    // Stats reflect one execution and one collapsed submission.
+    let resp = request_one(&socket, r#"{"op":"stats"}"#).unwrap();
+    assert_eq!(field(&resp, "ok"), Some("true"));
+    assert_eq!(field(&resp, "deduped"), Some("1"), "resp: {resp}");
+    assert_eq!(field(&resp, "cache_misses"), Some("1"));
+    assert_eq!(field(&resp, "completed"), Some("1"));
+
+    // Shutdown stops the accept loop, joins the pool, removes the
+    // socket file.
+    let resp = request_one(&socket, r#"{"op":"shutdown"}"#).unwrap();
+    assert_eq!(field(&resp, "ok"), Some("true"));
+    service.join().unwrap().unwrap();
+    assert!(!socket.exists(), "socket file must be cleaned up");
+}
