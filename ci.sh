@@ -118,7 +118,9 @@ echo "==> cached result JSON is byte-identical across passes and to the plain ca
 CACHED=0
 for f in target/ci-cached-pass1/*.json; do
     b="$(basename "$f")"
-    [ "$b" = manifest.json ] && continue
+    # The manifest and the service-stats snapshot are run telemetry
+    # (wall-clock, hit/miss counters), not results.
+    case "$b" in manifest.json|service-stats.json) continue ;; esac
     cmp "$f" "target/ci-cached-pass2/$b" \
         || { echo "$b differs between cached passes"; exit 1; }
     # Same scale, seed, and thread count as the plain t2 campaign above:
@@ -138,5 +140,67 @@ for P in 1 2; do
 done
 cmp target/ci-cached-pass1/FIDELITY.md target/ci-cached-pass2/FIDELITY.md \
     || { echo "FIDELITY.md differs between cached passes"; exit 1; }
+
+echo "==> chaos gate: a cached campaign under a pinned fault plan self-heals"
+# A deterministic fault schedule — a worker panic, an execute error, a
+# torn publish, a checksum corruption, and a delayed completion — hits a
+# fresh-store cached campaign. The scheduler must retry within the
+# attempt budget and the heal loop must re-execute the poisoned
+# publication, so the campaign converges to the same bytes as the
+# fault-free cached run above.
+CHAOS_PLAN='panic@2,error@5,torn@3,corrupt@4,delay@6:25'
+rm -rf target/ci-chaos-run1 target/ci-chaos-run2 target/ci-cas-chaos1 target/ci-cas-chaos2
+for R in 1 2; do
+    CXLG_SCALE=10 RAYON_NUM_THREADS=2 CXLG_RESULTS_DIR=target/ci-chaos-run$R \
+        cargo run --release -p cxlg-bench --bin cxlg -- \
+        run --all --cached --cas-root=target/ci-cas-chaos$R \
+        --fault-plan="$CHAOS_PLAN" --fault-seed=2023 --max-attempts=4 >/dev/null
+done
+
+echo "==> chaos results converge to the fault-free bytes"
+HEALED=0
+for f in target/ci-cached-pass1/*.json; do
+    b="$(basename "$f")"
+    case "$b" in manifest.json|service-stats.json) continue ;; esac
+    cmp "$f" "target/ci-chaos-run1/$b" \
+        || { echo "$b differs between the chaos and fault-free campaigns"; exit 1; }
+    HEALED=$((HEALED + 1))
+done
+[ "$HEALED" -ge 16 ] || { echo "only $HEALED chaos result files diffed; campaign incomplete"; exit 1; }
+echo "    $HEALED chaos result files byte-identical to the fault-free run"
+
+echo "==> the chaos run actually retried, quarantined, and recovered"
+grep -Eq '"retries": [1-9]' target/ci-chaos-run1/service-stats.json \
+    || { echo "the chaos run recorded no retries"; exit 1; }
+grep -Eq '"faults_injected": [1-9]' target/ci-chaos-run1/service-stats.json \
+    || { echo "the chaos run fired no faults"; exit 1; }
+grep -Eq '"failed": 0' target/ci-chaos-run1/service-stats.json \
+    || { echo "a chaos job exhausted its retry budget"; exit 1; }
+
+echo "==> the same (seed, plan) replays to an identical stats snapshot"
+# Everything but the wall-clock / RSS telemetry exemptions must match
+# byte for byte across two runs of the same chaos schedule.
+cmp <(grep -v -e wall_ms -e rss_ target/ci-chaos-run1/service-stats.json) \
+    <(grep -v -e wall_ms -e rss_ target/ci-chaos-run2/service-stats.json) \
+    || { echo "chaos stats snapshots differ across replays"; exit 1; }
+
+echo "==> cxlg validate stays green over the chaos campaign, FIDELITY.md unchanged"
+cargo run --release -p cxlg-bench --bin cxlg -- validate \
+    --campaign-dir=target/ci-chaos-run1 --write-report=target/ci-chaos-run1/FIDELITY.md >/dev/null
+cmp target/ci-cached-pass1/FIDELITY.md target/ci-chaos-run1/FIDELITY.md \
+    || { echo "FIDELITY.md differs between chaos and fault-free campaigns"; exit 1; }
+
+echo "==> cxlg cas gc bounds the chaos store and survives a re-open"
+# LRU-by-publication eviction down to 4 entries, then a recovery-only
+# pass that must find nothing left to do.
+cargo run --release -p cxlg-bench --bin cxlg -- cas gc \
+    --cas-root=target/ci-cas-chaos2 --max-entries=4 | tail -1
+REMAIN=$(cargo run --release -p cxlg-bench --bin cxlg -- cas gc \
+    --cas-root=target/ci-cas-chaos2 2>/dev/null | tail -1)
+echo "    $REMAIN"
+case "$REMAIN" in
+    *"entries 4 -> 4"*) ;;
+    *) echo "cas gc did not hold the store at 4 entries"; exit 1 ;;
+esac
 
 echo "CI OK"

@@ -27,13 +27,19 @@ USAGE:
     cxlg list                                   enumerate registered experiments
     cxlg run [--json-manifest[=PATH]] <names..> run selected experiments
     cxlg run --all [--json-manifest[=PATH]]     run the full campaign
-    cxlg run --cached [--cas-root=DIR] <names..|--all>
-                                                run through the campaign
+    cxlg run --cached [--cas-root=DIR] [--cas-max-bytes=N]
+            [--max-attempts=N] [--fault-plan=SPEC] [--fault-seed=N]
+            <names..|--all>                     run through the campaign
                                                 service scheduler + content-
                                                 addressed result store:
                                                 repeat runs with a warm store
-                                                are byte-identical cache hits
+                                                are byte-identical cache hits;
+                                                a fault plan turns the run
+                                                into a deterministic chaos
+                                                campaign that must self-heal
     cxlg serve --socket=PATH [--workers=N] [--cas-root=DIR]
+              [--max-attempts=N] [--job-timeout-ms=N]
+              [--mem-budget-bytes=N] [--cas-max-bytes=N]
                                                 long-running campaign service
                                                 speaking newline-delimited
                                                 JSON (submit/status/wait/
@@ -43,10 +49,15 @@ USAGE:
                                                 stats snapshot
     cxlg submit --socket=PATH <experiment> [--scale=N] [--seed=N]
                [--threads=N] [--priority=high|normal|low] [--wait]
-                                                submit one job; or manage by
+               [--timeout-ms=N]                 submit one job; or manage by
                                                 key: --status=KEY
-                                                --wait-key=KEY --cancel=KEY
-                                                --shutdown
+                                                --wait-key=KEY [--timeout-ms=N]
+                                                --cancel=KEY --shutdown
+    cxlg cas gc --cas-root=DIR [--max-bytes=N] [--max-entries=N]
+                                                reap stale staging dirs,
+                                                quarantine corrupt entries,
+                                                and evict oldest publications
+                                                until the bounds fit
     cxlg graph-mem <urand|kron|social> <scale>  build one dataset, report
                                                 wall-clock / peak RSS /
                                                 bytes-per-arc / fingerprint
@@ -72,8 +83,26 @@ OPTIONS:
     --cached                 (run) route the campaign through the
                              service scheduler + content-addressed
                              store; repeat runs are cache hits
-    --cas-root=DIR           (run --cached, serve) content-addressed
-                             store root; default <results_dir>/cas
+    --cas-root=DIR           (run --cached, serve, cas gc) content-
+                             addressed store root; default
+                             <results_dir>/cas
+    --cas-max-bytes=N        (run --cached, serve) GC the store down to
+                             N bytes after every publication
+    --max-attempts=N         (run --cached, serve) execution attempts
+                             per job before it is Failed; default 1
+    --fault-plan=SPEC        (run --cached) deterministic fault schedule,
+                             e.g. panic@2,error@5,torn@3,corrupt@4,
+                             delay@6:25 — kind@nth-occurrence, delays
+                             carry :ms
+    --fault-seed=N           (run --cached) injector seed for the plan's
+                             corruption byte choices; default 0
+    --job-timeout-ms=N       (serve) watchdog deadline: executions past
+                             it are marked timed_out and the key re-arms
+    --mem-budget-bytes=N     (serve) admission gate: estimated bytes of
+                             concurrently running jobs stay at or below N
+    --timeout-ms=N           (submit) bound a --wait / --wait-key block;
+                             an expired wait answers wait_timed_out and
+                             exits nonzero
     --socket=PATH            (serve, submit) Unix socket path
     --workers=N              (serve) worker-pool size; default 2
     --campaign-dir=DIR       (validate) campaign to check; default is
@@ -105,6 +134,16 @@ pub struct RunArgs {
     pub cached: bool,
     /// CAS root for `--cached` (default `<results_dir>/cas`).
     pub cas_root: Option<String>,
+    /// Fault-plan spec for a `--cached` chaos run (e.g.
+    /// `panic@2,torn@1,corrupt@3`).
+    pub fault_plan: Option<String>,
+    /// Injector seed for the plan's deterministic corruption choices.
+    pub fault_seed: u64,
+    /// Execution attempts per job before `Failed` (0 = scheduler
+    /// default of one attempt, i.e. no retries).
+    pub max_attempts: u64,
+    /// CAS byte budget: GC after every publication (`--cached`).
+    pub cas_max_bytes: Option<u64>,
 }
 
 /// Parse the arguments following `cxlg run`.
@@ -115,6 +154,10 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         manifest: None,
         cached: false,
         cas_root: None,
+        fault_plan: None,
+        fault_seed: 0,
+        max_attempts: 0,
+        cas_max_bytes: None,
     };
     for a in args {
         if a == "--all" {
@@ -126,6 +169,28 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                 return Err("--cas-root= requires a directory".to_string());
             }
             out.cas_root = Some(dir.to_string());
+        } else if let Some(spec) = a.strip_prefix("--fault-plan=") {
+            // Parse eagerly so a typo is a usage error, not a failure
+            // minutes into the campaign.
+            cxlg_serve::FaultPlan::parse(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+            out.fault_plan = Some(spec.to_string());
+        } else if let Some(n) = a.strip_prefix("--fault-seed=") {
+            out.fault_seed = n
+                .parse::<u64>()
+                .map_err(|_| format!("--fault-seed: bad number `{n}`"))?;
+        } else if let Some(n) = a.strip_prefix("--max-attempts=") {
+            out.max_attempts = n
+                .parse::<u64>()
+                .ok()
+                .filter(|m| *m >= 1)
+                .ok_or_else(|| format!("--max-attempts: bad count `{n}` (need >= 1)"))?;
+        } else if let Some(n) = a.strip_prefix("--cas-max-bytes=") {
+            out.cas_max_bytes = Some(
+                n.parse::<u64>()
+                    .ok()
+                    .filter(|b| *b >= 1)
+                    .ok_or_else(|| format!("--cas-max-bytes: bad size `{n}` (need >= 1)"))?,
+            );
         } else if a == "--json-manifest" {
             out.manifest = Some(None);
         } else if let Some(path) = a.strip_prefix("--json-manifest=") {
@@ -145,8 +210,19 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
     if !out.all && out.names.is_empty() {
         return Err("nothing to run: pass experiment names or --all".to_string());
     }
-    if out.cas_root.is_some() && !out.cached {
-        return Err("--cas-root only applies with --cached".to_string());
+    if !out.cached {
+        if out.cas_root.is_some() {
+            return Err("--cas-root only applies with --cached".to_string());
+        }
+        if out.fault_plan.is_some() || out.fault_seed != 0 {
+            return Err("--fault-plan/--fault-seed only apply with --cached".to_string());
+        }
+        if out.max_attempts != 0 {
+            return Err("--max-attempts only applies with --cached".to_string());
+        }
+        if out.cas_max_bytes.is_some() {
+            return Err("--cas-max-bytes only applies with --cached".to_string());
+        }
     }
     Ok(out)
 }
@@ -347,6 +423,12 @@ pub fn run_cli(args: RunArgs) -> i32 {
         let manifest_path = args
             .manifest
             .map(|p| p.map_or_else(|| results_dir.join("manifest.json"), PathBuf::from));
+        let opts = crate::serve_cli::CachedOptions {
+            fault_plan: args.fault_plan,
+            fault_seed: args.fault_seed,
+            max_attempts: args.max_attempts,
+            cas_max_bytes: args.cas_max_bytes,
+        };
         let outcome = crate::serve_cli::run_cached_campaign(
             crate::bench_scale(),
             crate::bench_seed(),
@@ -355,6 +437,7 @@ pub fn run_cli(args: RunArgs) -> i32 {
             &cas_root,
             &exps,
             manifest_path.as_deref(),
+            &opts,
         );
         return match outcome {
             Ok(o) if o.failed.is_empty() => 0,
@@ -558,14 +641,35 @@ pub struct ServeArgs {
     pub cas_root: Option<String>,
     /// Client mode: query a running service's stats instead of serving.
     pub stats: bool,
+    /// Execution attempts per job before `Failed` (default 1).
+    pub max_attempts: u64,
+    /// Per-job watchdog timeout in ms (`None` disables).
+    pub job_timeout_ms: Option<u64>,
+    /// Admission budget: estimated bytes of concurrently running jobs.
+    pub mem_budget_bytes: Option<u64>,
+    /// CAS byte budget: GC after every publication.
+    pub cas_max_bytes: Option<u64>,
 }
 
 /// Parse the arguments following `cxlg serve`.
 pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut out = ServeArgs {
+        socket: PathBuf::new(),
+        workers: 2,
+        cas_root: None,
+        stats: false,
+        max_attempts: 0,
+        job_timeout_ms: None,
+        mem_budget_bytes: None,
+        cas_max_bytes: None,
+    };
     let mut socket = None;
-    let mut workers = 2usize;
-    let mut cas_root = None;
-    let mut stats = false;
+    let parse_positive = |flag: &str, n: &str| {
+        n.parse::<u64>()
+            .ok()
+            .filter(|v| *v >= 1)
+            .ok_or_else(|| format!("{flag}: bad value `{n}` (need >= 1)"))
+    };
     for a in args {
         if let Some(p) = a.strip_prefix("--socket=") {
             if p.is_empty() {
@@ -573,28 +677,28 @@ pub fn parse_serve_args(args: &[String]) -> Result<ServeArgs, String> {
             }
             socket = Some(PathBuf::from(p));
         } else if let Some(n) = a.strip_prefix("--workers=") {
-            workers = n
-                .parse::<usize>()
-                .ok()
-                .filter(|w| *w >= 1)
-                .ok_or_else(|| format!("--workers: bad count `{n}` (need >= 1)"))?;
+            out.workers = parse_positive("--workers", n)? as usize;
         } else if let Some(dir) = a.strip_prefix("--cas-root=") {
             if dir.is_empty() {
                 return Err("--cas-root= requires a directory".to_string());
             }
-            cas_root = Some(dir.to_string());
+            out.cas_root = Some(dir.to_string());
+        } else if let Some(n) = a.strip_prefix("--max-attempts=") {
+            out.max_attempts = parse_positive("--max-attempts", n)?;
+        } else if let Some(n) = a.strip_prefix("--job-timeout-ms=") {
+            out.job_timeout_ms = Some(parse_positive("--job-timeout-ms", n)?);
+        } else if let Some(n) = a.strip_prefix("--mem-budget-bytes=") {
+            out.mem_budget_bytes = Some(parse_positive("--mem-budget-bytes", n)?);
+        } else if let Some(n) = a.strip_prefix("--cas-max-bytes=") {
+            out.cas_max_bytes = Some(parse_positive("--cas-max-bytes", n)?);
         } else if a == "--stats" {
-            stats = true;
+            out.stats = true;
         } else {
             return Err(format!("unknown argument `{a}`"));
         }
     }
-    Ok(ServeArgs {
-        socket: socket.ok_or("serve: --socket=PATH is required")?,
-        workers,
-        cas_root,
-        stats,
-    })
+    out.socket = socket.ok_or("serve: --socket=PATH is required")?;
+    Ok(out)
 }
 
 /// Parsed `cxlg submit` arguments: the socket plus exactly one action.
@@ -623,11 +727,14 @@ pub enum SubmitAction {
         priority: Option<String>,
         /// Block until the job is terminal.
         wait: bool,
+        /// Bound the `--wait` block (ms); the response carries
+        /// `wait_timed_out` when it expires first.
+        timeout_ms: Option<u64>,
     },
     /// Snapshot a job by key.
     Status(String),
-    /// Block until a job is terminal.
-    WaitKey(String),
+    /// Block until a job is terminal (optionally bounded, in ms).
+    WaitKey(String, Option<u64>),
     /// Cancel a queued job.
     Cancel(String),
     /// Stop the service.
@@ -643,6 +750,8 @@ pub fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
     let mut threads = None;
     let mut priority = None;
     let mut wait = false;
+    let mut timeout_ms = None;
+    let mut wait_key = None;
     let mut keyed: Option<SubmitAction> = None;
     let set_keyed = |action: SubmitAction, keyed: &mut Option<SubmitAction>| {
         if keyed.is_some() {
@@ -676,10 +785,19 @@ pub fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
             priority = Some(p.to_string());
         } else if a == "--wait" {
             wait = true;
+        } else if let Some(n) = a.strip_prefix("--timeout-ms=") {
+            timeout_ms = Some(
+                n.parse::<u64>()
+                    .map_err(|_| format!("bad timeout `{n}`"))?,
+            );
         } else if let Some(k) = a.strip_prefix("--status=") {
             set_keyed(SubmitAction::Status(k.to_string()), &mut keyed)?;
         } else if let Some(k) = a.strip_prefix("--wait-key=") {
-            set_keyed(SubmitAction::WaitKey(k.to_string()), &mut keyed)?;
+            // The timeout flag may come after the key; bind them once
+            // every argument is seen.
+            if wait_key.replace(k.to_string()).is_some() {
+                return Err("submit: pass --wait-key at most once".to_string());
+            }
         } else if let Some(k) = a.strip_prefix("--cancel=") {
             set_keyed(SubmitAction::Cancel(k.to_string()), &mut keyed)?;
         } else if a == "--shutdown" {
@@ -693,6 +811,12 @@ pub fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
         }
     }
     let socket = socket.ok_or("submit: --socket=PATH is required")?;
+    if let Some(k) = wait_key {
+        set_keyed(SubmitAction::WaitKey(k, timeout_ms.take()), &mut keyed)?;
+    }
+    if timeout_ms.is_some() && !wait {
+        return Err("submit: --timeout-ms requires --wait or --wait-key".to_string());
+    }
     let action = match (experiment, keyed) {
         (Some(_), Some(_)) => {
             return Err("submit: an experiment name and a keyed action are exclusive".to_string())
@@ -705,6 +829,7 @@ pub fn parse_submit_args(args: &[String]) -> Result<SubmitArgs, String> {
             threads,
             priority,
             wait,
+            timeout_ms,
         },
         (None, None) => return Err("submit: nothing to do (experiment name or keyed action)".to_string()),
     };
@@ -723,6 +848,7 @@ pub fn submit_request_line(action: &SubmitAction) -> String {
             threads,
             priority,
             wait,
+            timeout_ms,
         } => {
             fields.push(("op".to_string(), Value::Str("submit".to_string())));
             fields.push(("experiment".to_string(), Value::Str(experiment.clone())));
@@ -741,14 +867,20 @@ pub fn submit_request_line(action: &SubmitAction) -> String {
             if *wait {
                 fields.push(("wait".to_string(), Value::Bool(true)));
             }
+            if let Some(t) = timeout_ms {
+                fields.push(("timeout_ms".to_string(), Value::U64(*t)));
+            }
         }
         SubmitAction::Status(k) => {
             fields.push(("op".to_string(), Value::Str("status".to_string())));
             fields.push(("key".to_string(), Value::Str(k.clone())));
         }
-        SubmitAction::WaitKey(k) => {
+        SubmitAction::WaitKey(k, timeout_ms) => {
             fields.push(("op".to_string(), Value::Str("wait".to_string())));
             fields.push(("key".to_string(), Value::Str(k.clone())));
+            if let Some(t) = timeout_ms {
+                fields.push(("timeout_ms".to_string(), Value::U64(*t)));
+            }
         }
         SubmitAction::Cancel(k) => {
             fields.push(("op".to_string(), Value::Str("cancel".to_string())));
@@ -762,7 +894,9 @@ pub fn submit_request_line(action: &SubmitAction) -> String {
 }
 
 /// Exit code for a service response line: 0 when the service said
-/// `ok:true` and the reported job status (if any) is not `failed`.
+/// `ok:true`, the reported job status (if any) is not `failed`, and a
+/// bounded wait did not expire (`wait_timed_out`) — so scripts can poll
+/// with `--timeout-ms` and branch on the exit code.
 pub fn response_exit_code(response: &str) -> i32 {
     let Ok(Value::Map(map)) = serde_json::from_str::<Value>(response) else {
         return 1;
@@ -773,11 +907,94 @@ pub fn response_exit_code(response: &str) -> i32 {
     let failed = map
         .iter()
         .any(|(k, v)| k == "status" && matches!(v, Value::Str(s) if s == "failed"));
-    if ok && !failed {
+    let timed_out = map
+        .iter()
+        .any(|(k, v)| k == "wait_timed_out" && matches!(v, Value::Bool(true)));
+    if ok && !failed && !timed_out {
         0
     } else {
         1
     }
+}
+
+/// Parsed `cxlg cas gc` arguments.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CasGcArgs {
+    /// Store root to collect.
+    pub cas_root: PathBuf,
+    /// Evict (LRU by publication sequence) until at or below this many
+    /// bytes.
+    pub max_bytes: Option<u64>,
+    /// Evict until at or below this many entries.
+    pub max_entries: Option<usize>,
+}
+
+/// Parse the arguments following `cxlg cas` (currently only the `gc`
+/// verb).
+pub fn parse_cas_args(args: &[String]) -> Result<CasGcArgs, String> {
+    let Some(("gc", rest)) = args.split_first().map(|(v, r)| (v.as_str(), r)) else {
+        return Err("cas: expected the `gc` verb".to_string());
+    };
+    let mut out = CasGcArgs {
+        cas_root: PathBuf::new(),
+        max_bytes: None,
+        max_entries: None,
+    };
+    let mut cas_root = None;
+    for a in rest {
+        if let Some(dir) = a.strip_prefix("--cas-root=") {
+            if dir.is_empty() {
+                return Err("--cas-root= requires a directory".to_string());
+            }
+            cas_root = Some(PathBuf::from(dir));
+        } else if let Some(n) = a.strip_prefix("--max-bytes=") {
+            out.max_bytes = Some(
+                n.parse::<u64>()
+                    .map_err(|_| format!("--max-bytes: bad size `{n}`"))?,
+            );
+        } else if let Some(n) = a.strip_prefix("--max-entries=") {
+            out.max_entries = Some(
+                n.parse::<usize>()
+                    .map_err(|_| format!("--max-entries: bad count `{n}`"))?,
+            );
+        } else {
+            return Err(format!("unknown argument `{a}`"));
+        }
+    }
+    out.cas_root = cas_root.ok_or("cas gc: --cas-root=DIR is required")?;
+    Ok(out)
+}
+
+/// Execute `cxlg cas gc`: open the store (which already reaps stale
+/// staging litter and quarantines corrupt manifests as part of open)
+/// and evict entries oldest-publication-first until the given bounds
+/// fit. With no bounds this is a recovery-only pass. Returns the exit
+/// code.
+pub fn run_cas_gc(args: CasGcArgs) -> i32 {
+    let store = match cxlg_serve::store::ResultStore::new(&args.cas_root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cxlg cas gc: open {}: {e}", args.cas_root.display());
+            return 2;
+        }
+    };
+    let recovered = store.counters();
+    let report = store.gc(args.max_bytes, args.max_entries);
+    for key in &report.evicted {
+        println!("evicted {key}");
+    }
+    println!(
+        "cas gc {}: entries {} -> {}, bytes {} -> {} (reaped {} staging dir(s), \
+         quarantined {} entr(ies))",
+        args.cas_root.display(),
+        report.entries_before,
+        report.entries_before - report.evicted.len(),
+        report.bytes_before,
+        report.bytes_after,
+        recovered.staging_reaped,
+        recovered.quarantined,
+    );
+    0
 }
 
 /// Execute `cxlg serve`: either run the campaign service on a Unix
@@ -822,7 +1039,18 @@ pub fn run_serve(args: ServeArgs) -> i32 {
         seed: crate::bench_seed(),
         threads: rayon::current_num_threads(),
     };
-    let sched = cxlg_serve::scheduler::Scheduler::new(store, backend, args.workers);
+    let sched = cxlg_serve::scheduler::Scheduler::with_config(
+        store,
+        backend,
+        cxlg_serve::scheduler::SchedulerConfig {
+            workers: args.workers,
+            max_attempts: args.max_attempts,
+            job_timeout_ms: args.job_timeout_ms,
+            mem_budget_bytes: args.mem_budget_bytes,
+            cas_max_bytes: args.cas_max_bytes,
+            faults: None,
+        },
+    );
     let server = match Server::bind(&args.socket, sched, defaults) {
         Ok(s) => s,
         Err(e) => {
@@ -908,6 +1136,13 @@ pub fn cxlg_main() {
                 2
             }
         },
+        Some("cas") => match parse_cas_args(&args[1..]) {
+            Ok(ca) => run_cas_gc(ca),
+            Err(msg) => {
+                eprintln!("cxlg cas: {msg}\n\n{USAGE}");
+                2
+            }
+        },
         Some("lint") => match parse_lint_args(&args[1..]) {
             Ok(la) => run_lint(la),
             Err(msg) => {
@@ -960,6 +1195,10 @@ pub fn run_all() {
         manifest: Some(None),
         cached: false,
         cas_root: None,
+        fault_plan: None,
+        fault_seed: 0,
+        max_attempts: 0,
+        cas_max_bytes: None,
     });
     std::process::exit(code);
 }
@@ -1056,6 +1295,32 @@ mod tests {
     }
 
     #[test]
+    fn parse_run_chaos_forms() {
+        let ra = parse_run_args(&s(&[
+            "--cached",
+            "--fault-plan=panic@2,torn@1,delay@3:25",
+            "--fault-seed=7",
+            "--max-attempts=4",
+            "--cas-max-bytes=4096",
+            "fig3",
+        ]))
+        .unwrap();
+        assert_eq!(ra.fault_plan.as_deref(), Some("panic@2,torn@1,delay@3:25"));
+        assert_eq!(ra.fault_seed, 7);
+        assert_eq!(ra.max_attempts, 4);
+        assert_eq!(ra.cas_max_bytes, Some(4096));
+        // A bad plan is a usage error, caught at parse time.
+        assert!(parse_run_args(&s(&["--cached", "--fault-plan=frob@1", "fig3"])).is_err());
+        assert!(parse_run_args(&s(&["--cached", "--fault-plan=panic", "fig3"])).is_err());
+        assert!(parse_run_args(&s(&["--cached", "--max-attempts=0", "fig3"])).is_err());
+        // The chaos knobs all require --cached.
+        assert!(parse_run_args(&s(&["--fault-plan=panic@1", "fig3"])).is_err());
+        assert!(parse_run_args(&s(&["--fault-seed=7", "fig3"])).is_err());
+        assert!(parse_run_args(&s(&["--max-attempts=2", "fig3"])).is_err());
+        assert!(parse_run_args(&s(&["--cas-max-bytes=1", "fig3"])).is_err());
+    }
+
+    #[test]
     fn parse_serve_forms() {
         let sa = parse_serve_args(&s(&["--socket=/tmp/s.sock"])).unwrap();
         assert_eq!(
@@ -1064,7 +1329,11 @@ mod tests {
                 socket: PathBuf::from("/tmp/s.sock"),
                 workers: 2,
                 cas_root: None,
-                stats: false
+                stats: false,
+                max_attempts: 0,
+                job_timeout_ms: None,
+                mem_budget_bytes: None,
+                cas_max_bytes: None,
             }
         );
         let sa =
@@ -1073,9 +1342,23 @@ mod tests {
         assert_eq!(sa.workers, 4);
         assert_eq!(sa.cas_root, Some("/tmp/cas".to_string()));
         assert!(sa.stats);
+        let sa = parse_serve_args(&s(&[
+            "--socket=/tmp/s.sock",
+            "--max-attempts=3",
+            "--job-timeout-ms=5000",
+            "--mem-budget-bytes=1073741824",
+            "--cas-max-bytes=8388608",
+        ]))
+        .unwrap();
+        assert_eq!(sa.max_attempts, 3);
+        assert_eq!(sa.job_timeout_ms, Some(5000));
+        assert_eq!(sa.mem_budget_bytes, Some(1_073_741_824));
+        assert_eq!(sa.cas_max_bytes, Some(8_388_608));
         assert!(parse_serve_args(&s(&[])).is_err(), "socket is required");
         assert!(parse_serve_args(&s(&["--socket="])).is_err());
         assert!(parse_serve_args(&s(&["--socket=/tmp/s", "--workers=0"])).is_err());
+        assert!(parse_serve_args(&s(&["--socket=/tmp/s", "--job-timeout-ms=0"])).is_err());
+        assert!(parse_serve_args(&s(&["--socket=/tmp/s", "--mem-budget-bytes=x"])).is_err());
         assert!(parse_serve_args(&s(&["--socket=/tmp/s", "--frob"])).is_err());
     }
 
@@ -1090,7 +1373,8 @@ mod tests {
                 seed: None,
                 threads: None,
                 priority: None,
-                wait: true
+                wait: true,
+                timeout_ms: None
             }
         );
         let sa = parse_submit_args(&s(&[
@@ -1115,6 +1399,59 @@ mod tests {
     }
 
     #[test]
+    fn parse_submit_timeout_forms() {
+        let sa =
+            parse_submit_args(&s(&["--socket=/tmp/s", "fig3", "--wait", "--timeout-ms=250"]))
+                .unwrap();
+        let SubmitAction::Submit { wait, timeout_ms, .. } = sa.action else {
+            panic!("must parse a submit action")
+        };
+        assert!(wait);
+        assert_eq!(timeout_ms, Some(250));
+        // The flag binds to --wait-key in either argument order.
+        let sa = parse_submit_args(&s(&["--socket=/tmp/s", "--timeout-ms=100", "--wait-key=k"]))
+            .unwrap();
+        assert_eq!(sa.action, SubmitAction::WaitKey("k".to_string(), Some(100)));
+        let sa = parse_submit_args(&s(&["--socket=/tmp/s", "--wait-key=k"])).unwrap();
+        assert_eq!(sa.action, SubmitAction::WaitKey("k".to_string(), None));
+        // A timeout without anything to wait on is a usage error.
+        assert!(parse_submit_args(&s(&["--socket=/tmp/s", "fig3", "--timeout-ms=5"])).is_err());
+        assert!(parse_submit_args(&s(&["--socket=/tmp/s", "fig3", "--timeout-ms=x", "--wait"]))
+            .is_err());
+        assert!(
+            parse_submit_args(&s(&["--socket=/tmp/s", "--wait-key=a", "--wait-key=b"])).is_err()
+        );
+    }
+
+    #[test]
+    fn parse_cas_gc_forms() {
+        let ca = parse_cas_args(&s(&["gc", "--cas-root=/tmp/cas"])).unwrap();
+        assert_eq!(
+            ca,
+            CasGcArgs {
+                cas_root: PathBuf::from("/tmp/cas"),
+                max_bytes: None,
+                max_entries: None
+            }
+        );
+        let ca = parse_cas_args(&s(&[
+            "gc",
+            "--cas-root=/tmp/cas",
+            "--max-bytes=1048576",
+            "--max-entries=16",
+        ]))
+        .unwrap();
+        assert_eq!(ca.max_bytes, Some(1_048_576));
+        assert_eq!(ca.max_entries, Some(16));
+        assert!(parse_cas_args(&s(&[])).is_err(), "the verb is required");
+        assert!(parse_cas_args(&s(&["frob"])).is_err());
+        assert!(parse_cas_args(&s(&["gc"])).is_err(), "the root is required");
+        assert!(parse_cas_args(&s(&["gc", "--cas-root="])).is_err());
+        assert!(parse_cas_args(&s(&["gc", "--cas-root=/tmp/c", "--max-bytes=x"])).is_err());
+        assert!(parse_cas_args(&s(&["gc", "--cas-root=/tmp/c", "--frob"])).is_err());
+    }
+
+    #[test]
     fn parse_submit_rejects_bad_combinations() {
         assert!(parse_submit_args(&s(&["fig3"])).is_err(), "socket required");
         assert!(parse_submit_args(&s(&["--socket=/tmp/s"])).is_err(), "no action");
@@ -1135,13 +1472,19 @@ mod tests {
             threads: None,
             priority: Some("low".to_string()),
             wait: true,
+            timeout_ms: Some(250),
         });
         assert_eq!(
             line,
-            r#"{"op":"submit","experiment":"fig3","scale":10,"priority":"low","wait":true}"#
+            r#"{"op":"submit","experiment":"fig3","scale":10,"priority":"low","wait":true,"timeout_ms":250}"#
         );
         assert!(cxlg_serve::proto::parse_request(&line).is_ok());
-        let line = submit_request_line(&SubmitAction::WaitKey("0123456789abcdef".to_string()));
+        let line =
+            submit_request_line(&SubmitAction::WaitKey("0123456789abcdef".to_string(), Some(100)));
+        assert!(line.contains(r#""timeout_ms":100"#), "{line}");
+        assert!(cxlg_serve::proto::parse_request(&line).is_ok());
+        let line =
+            submit_request_line(&SubmitAction::WaitKey("0123456789abcdef".to_string(), None));
         assert!(cxlg_serve::proto::parse_request(&line).is_ok());
         let line = submit_request_line(&SubmitAction::Shutdown);
         assert_eq!(line, r#"{"op":"shutdown"}"#);
@@ -1153,6 +1496,10 @@ mod tests {
         assert_eq!(response_exit_code(r#"{"ok":true,"status":"done"}"#), 0);
         assert_eq!(response_exit_code(r#"{"ok":true,"status":"failed"}"#), 1);
         assert_eq!(response_exit_code(r#"{"ok":false,"error":"boom"}"#), 1);
+        assert_eq!(
+            response_exit_code(r#"{"ok":true,"status":"running","wait_timed_out":true}"#),
+            1
+        );
         assert_eq!(response_exit_code("garbage"), 1);
     }
 

@@ -22,9 +22,10 @@
 use crate::cache::{spec_label, GraphCache};
 use crate::ctx::ExperimentCtx;
 use crate::experiment::Experiment;
-use cxlg_graph::GraphSpec;
+use cxlg_graph::{GraphKind, GraphSpec};
+use cxlg_serve::fault::{FaultInjector, FaultPlan};
 use cxlg_serve::job::{Job, Priority};
-use cxlg_serve::scheduler::{JobBackend, JobOutput, JobStatus, Scheduler};
+use cxlg_serve::scheduler::{JobBackend, JobOutput, JobStatus, Scheduler, SchedulerConfig};
 use cxlg_serve::store::ResultStore;
 use cxlg_serve::JobKey;
 use serde::Value;
@@ -80,6 +81,25 @@ impl RegistryBackend {
     pub fn cache(&self) -> &Arc<GraphCache> {
         &self.cache
     }
+}
+
+/// Estimated working-set bytes for building `spec`'s CSR: ~8 B per
+/// directed arc (4 B target + construction slack) plus 8 B per vertex
+/// of offsets. Deliberately coarse — the admission gate only needs the
+/// right order of magnitude, and over-estimating defers rather than
+/// breaks (the gate always admits onto an idle pool).
+pub fn spec_admission_bytes(spec: &GraphSpec) -> u64 {
+    let vertices = 1u64 << spec.scale.min(63);
+    let arcs = match spec.kind {
+        GraphKind::Uniform { avg_degree } => vertices.saturating_mul(avg_degree as u64),
+        // Kronecker symmetrizes: edge_factor undirected edges per
+        // vertex become two directed arcs each.
+        GraphKind::Kronecker { edge_factor } => {
+            vertices.saturating_mul(2 * edge_factor as u64)
+        }
+        GraphKind::Social { avg_degree } => vertices.saturating_mul(avg_degree as u64),
+    };
+    arcs.saturating_mul(8).saturating_add(vertices.saturating_mul(8))
 }
 
 impl JobBackend for RegistryBackend {
@@ -139,6 +159,25 @@ impl JobBackend for RegistryBackend {
         }
         let _ = std::fs::remove_dir_all(&staging);
         Ok(JobOutput { files })
+    }
+
+    /// Estimated peak working set: the sum over the job's distinct
+    /// graph specs (the eviction plan holds each until its last
+    /// consumer, so concurrent specs are the honest bound). Jobs whose
+    /// experiment does not resolve estimate 0 — they fail at
+    /// fingerprint time anyway, before admission matters.
+    fn admission_bytes(&self, job: &Job) -> u64 {
+        let Ok(specs) = self.specs_for(job) else { return 0 };
+        let mut seen: Vec<GraphSpec> = Vec::new();
+        let mut total = 0u64;
+        for spec in specs {
+            if seen.contains(&spec) {
+                continue;
+            }
+            total = total.saturating_add(spec_admission_bytes(&spec));
+            seen.push(spec);
+        }
+        total
     }
 }
 
@@ -220,12 +259,45 @@ pub struct CachedOutcome {
     pub cache_misses: u64,
 }
 
+/// Robustness knobs for a cached campaign (`cxlg run --cached`).
+/// [`Default`] injects no faults, allows one attempt per job, and sets
+/// no store budget — exactly the pre-chaos behaviour.
+#[derive(Debug, Clone, Default)]
+pub struct CachedOptions {
+    /// Fault-plan spec ([`FaultPlan::parse`] grammar) for chaos runs;
+    /// `None` injects nothing.
+    pub fault_plan: Option<String>,
+    /// Seed for the injector's deterministic corruption choices.
+    pub fault_seed: u64,
+    /// Execution attempts per job before `Failed` (clamped to ≥ 1 by
+    /// the scheduler).
+    pub max_attempts: u64,
+    /// Store byte budget: GC after every publication keeps the CAS at
+    /// or below this. `None` disables.
+    pub cas_max_bytes: Option<u64>,
+}
+
+/// How many extra submit rounds `run_cached_campaign` grants a job
+/// whose `Done` entry fails materialization (poisoned store entry) or
+/// times out: resubmission re-arms the key and re-executes, so one
+/// round heals any single corruption and a second absorbs a fault
+/// injected into the healing run itself.
+const HEAL_ROUNDS: usize = 2;
+
 /// Run `exps` through the scheduler + content-addressed store,
 /// materializing each job's result files into `results_dir` (bytes
 /// verbatim from the store, so a cached campaign is byte-identical to a
 /// fresh one). Jobs run one at a time in list order — the same ordering
 /// and graph-eviction behaviour as `cxlg run` — against the store under
 /// `cas_root`, which persists across invocations.
+///
+/// With a fault plan in `opts` the run becomes a chaos campaign: the
+/// injector fires the planned faults, the scheduler retries within
+/// `max_attempts`, and the heal loop resubmits jobs whose published
+/// entry turns out poisoned — the campaign must converge to the same
+/// bytes as a fault-free run or report the experiment failed. A
+/// `service-stats.json` snapshot (retries, quarantines, faults fired)
+/// is left beside the results for the CI replay gate.
 pub fn run_cached_campaign(
     scale: u32,
     seed: u64,
@@ -234,6 +306,7 @@ pub fn run_cached_campaign(
     cas_root: &Path,
     exps: &[&dyn Experiment],
     manifest_path: Option<&Path>,
+    opts: &CachedOptions,
 ) -> Result<CachedOutcome, String> {
     std::fs::create_dir_all(results_dir).map_err(|e| format!("create results dir: {e}"))?;
     let cache = Arc::new(GraphCache::new());
@@ -241,7 +314,17 @@ pub fn run_cached_campaign(
         RegistryBackend::new(cas_root, Arc::clone(&cache))
             .map_err(|e| format!("open CAS root: {e}"))?,
     );
-    let store = ResultStore::new(cas_root).map_err(|e| format!("open result store: {e}"))?;
+    let faults = match &opts.fault_plan {
+        Some(spec) => {
+            let plan = FaultPlan::parse(spec).map_err(|e| format!("fault plan: {e}"))?;
+            Some(Arc::new(FaultInjector::new(opts.fault_seed, plan)))
+        }
+        None => None,
+    };
+    let mut store = ResultStore::new(cas_root).map_err(|e| format!("open result store: {e}"))?;
+    if let Some(f) = &faults {
+        store = store.with_faults(Arc::clone(f));
+    }
 
     // Eviction plan, exactly as `run_experiments` computes it: how many
     // experiments in this run list consume each spec.
@@ -261,23 +344,52 @@ pub fn run_cached_campaign(
         }
     }
 
-    let sched = Scheduler::new(store, Arc::clone(&backend) as Arc<dyn JobBackend>, 1);
+    let sched = Scheduler::with_config(
+        store,
+        Arc::clone(&backend) as Arc<dyn JobBackend>,
+        SchedulerConfig {
+            workers: 1,
+            max_attempts: opts.max_attempts,
+            cas_max_bytes: opts.cas_max_bytes,
+            faults: faults.clone(),
+            ..SchedulerConfig::default()
+        },
+    );
     let mut reports = Vec::with_capacity(exps.len());
     let mut failed = Vec::new();
     for (exp, job) in exps.iter().zip(jobs) {
         println!("\n################ {} ################\n", exp.name());
         let specs = backend.specs_for(&job).unwrap_or_default();
-        let outcome = sched.submit(job, Priority::Normal)?;
-        let snap = sched
-            .wait(&outcome.key)
-            .ok_or_else(|| format!("job for `{}` vanished", exp.name()))?;
+        // The heal loop: a `Done` whose store entry fails its
+        // materialization probe is poisoned (e.g. injected corruption
+        // landed after publication) — resubmitting re-validates the
+        // entry, quarantines it, re-arms the key, and re-executes.
+        // Bounded so a hostile fault plan cannot loop forever.
+        let mut snap = None;
+        let mut hit = None;
+        for _round in 0..=HEAL_ROUNDS {
+            let outcome = sched.submit(job.clone(), Priority::Normal)?;
+            let s = sched
+                .wait(&outcome.key)
+                .ok_or_else(|| format!("job for `{}` vanished", exp.name()))?;
+            let is_done = s.status == JobStatus::Done;
+            let timed_out = s.status == JobStatus::TimedOut;
+            snap = Some(s);
+            if is_done {
+                hit = sched.store().probe(&snap.as_ref().unwrap().key);
+                if hit.is_some() {
+                    break;
+                }
+                eprintln!("[{}: poisoned store entry, re-executing]", exp.name());
+            } else if !timed_out {
+                break; // Failed: the retry budget is already spent.
+            }
+        }
+        let snap = snap.expect("at least one heal round ran");
+        let healthy = hit.is_some();
         let mut result_files = Vec::new();
-        match snap.status {
-            JobStatus::Done => {
-                let hit = sched
-                    .store()
-                    .probe(&snap.key)
-                    .ok_or_else(|| format!("store lost entry {}", snap.key))?;
+        match hit {
+            Some(hit) => {
                 for (name, bytes) in &hit.files {
                     let path = results_dir.join(name);
                     std::fs::write(&path, bytes)
@@ -290,7 +402,7 @@ pub fn run_cached_campaign(
                     result_files.push(path.display().to_string());
                 }
             }
-            _ => {
+            None => {
                 eprintln!("[{} FAILED]", exp.name());
                 failed.push(exp.name().to_string());
             }
@@ -300,7 +412,7 @@ pub fn run_cached_campaign(
             key: snap.key.as_str().to_string(),
             cache_hit: snap.cache_hit,
             wall_ms: snap.wall_ms,
-            failed: snap.status != JobStatus::Done,
+            failed: !healthy,
             error: snap.error.clone(),
             result_files,
         });
@@ -325,6 +437,14 @@ pub fn run_cached_campaign(
         }
     }
     let stats = sched.stats();
+    // Byte-stable (modulo the wall-clock / RSS telemetry exemptions)
+    // snapshot of the run's service counters: retries, quarantines,
+    // faults fired, evictions. ci.sh's chaos gate replays a campaign
+    // from the same `(seed, plan)` and diffs this file.
+    let stats_path = results_dir.join("service-stats.json");
+    std::fs::write(&stats_path, stats.render_json())
+        .map_err(|e| format!("write service stats: {e}"))?;
+    eprintln!("[service stats {}]", stats_path.display());
     let outcome = CachedOutcome {
         reports,
         failed,
@@ -479,6 +599,39 @@ mod tests {
         let backend2 = RegistryBackend::new(&dir, Arc::clone(&cache2)).unwrap();
         assert_eq!(backend2.fingerprints(&job).unwrap(), fps);
         assert!(cache2.build_counts().is_empty(), "warm memo must not build");
+    }
+
+    #[test]
+    fn admission_estimates_scale_with_the_declared_specs() {
+        // 2^10 vertices: urand (deg 32) ≈ 32 Ki arcs · 8 B + 8 KiB of
+        // offsets; kron (ef 16) symmetrizes to the same arc count.
+        let urand = spec_admission_bytes(&GraphSpec::urand(10));
+        assert_eq!(urand, (1024 * 32) * 8 + 1024 * 8);
+        assert_eq!(spec_admission_bytes(&GraphSpec::kron(10)), urand);
+        let social = spec_admission_bytes(&GraphSpec::friendster_like(10));
+        assert!(social > urand, "degree 55 must estimate above degree 32");
+        // Monotone in scale, and huge scales saturate instead of
+        // overflowing.
+        assert!(spec_admission_bytes(&GraphSpec::urand(12)) > urand);
+        assert_eq!(spec_admission_bytes(&GraphSpec::urand(63)), u64::MAX);
+
+        // The backend sums distinct specs; an unknown experiment
+        // estimates 0 (it fails before admission matters).
+        let dir = std::env::temp_dir().join(format!("cxlg-admission-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let backend = RegistryBackend::new(&dir, Arc::new(GraphCache::new())).unwrap();
+        let job = Job {
+            experiment: "fig3".to_string(),
+            scale: 8,
+            seed: 1,
+            threads: 1,
+        };
+        assert!(backend.admission_bytes(&job) > 0);
+        let unknown = Job {
+            experiment: "frobnicate".to_string(),
+            ..job
+        };
+        assert_eq!(backend.admission_bytes(&unknown), 0);
     }
 
     #[test]

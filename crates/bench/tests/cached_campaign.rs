@@ -6,8 +6,12 @@
 
 use cxlg_bench::experiment::Experiment;
 use cxlg_bench::registry;
-use cxlg_bench::serve_cli::run_cached_campaign;
+use cxlg_bench::serve_cli::{run_cached_campaign, CachedOptions};
 use std::path::{Path, PathBuf};
+
+fn plain() -> CachedOptions {
+    CachedOptions::default()
+}
 
 fn exps(names: &[&str]) -> Vec<&'static dyn Experiment> {
     names
@@ -29,7 +33,7 @@ fn second_cached_run_is_all_hits_and_byte_identical() {
 
     let pass1 = base.join("pass1");
     let o1 = rayon::with_num_threads(2, || {
-        run_cached_campaign(8, 0x5EED, 2, &pass1, &cas, &list, Some(&pass1.join("manifest.json")))
+        run_cached_campaign(8, 0x5EED, 2, &pass1, &cas, &list, Some(&pass1.join("manifest.json")), &plain())
     })
     .unwrap();
     assert!(o1.failed.is_empty(), "failed: {:?}", o1.failed);
@@ -47,7 +51,7 @@ fn second_cached_run_is_all_hits_and_byte_identical() {
 
     let pass2 = base.join("pass2");
     let o2 = rayon::with_num_threads(2, || {
-        run_cached_campaign(8, 0x5EED, 2, &pass2, &cas, &list, Some(&pass2.join("manifest.json")))
+        run_cached_campaign(8, 0x5EED, 2, &pass2, &cas, &list, Some(&pass2.join("manifest.json")), &plain())
     })
     .unwrap();
     assert!(o2.failed.is_empty(), "failed: {:?}", o2.failed);
@@ -84,7 +88,7 @@ fn second_cached_run_is_all_hits_and_byte_identical() {
     // A different job (other seed) gets a different key.
     let pass3 = base.join("pass3");
     let o3 = rayon::with_num_threads(2, || {
-        run_cached_campaign(8, 0x0BAD, 2, &pass3, &cas, &exps(&["fig3"]), None)
+        run_cached_campaign(8, 0x0BAD, 2, &pass3, &cas, &exps(&["fig3"]), None, &plain())
     })
     .unwrap();
     assert_ne!(o3.reports[0].key, o1.reports[2].key);
@@ -100,7 +104,7 @@ fn tampered_cas_entries_are_reexecuted_and_repaired() {
 
     let pass1 = base.join("pass1");
     let o1 = rayon::with_num_threads(1, || {
-        run_cached_campaign(8, 0x5EED, 1, &pass1, &cas, &list, None)
+        run_cached_campaign(8, 0x5EED, 1, &pass1, &cas, &list, None, &plain())
     })
     .unwrap();
     assert!(o1.failed.is_empty());
@@ -116,7 +120,7 @@ fn tampered_cas_entries_are_reexecuted_and_repaired() {
 
     let pass2 = base.join("pass2");
     let o2 = rayon::with_num_threads(1, || {
-        run_cached_campaign(8, 0x5EED, 1, &pass2, &cas, &list, None)
+        run_cached_campaign(8, 0x5EED, 1, &pass2, &cas, &list, None, &plain())
     })
     .unwrap();
     assert!(o2.failed.is_empty());
@@ -129,4 +133,74 @@ fn tampered_cas_entries_are_reexecuted_and_repaired() {
     // entry is repaired.
     assert_eq!(read(&pass2.join("fig3.json")), fresh);
     assert_eq!(read(&payload), fresh);
+}
+
+#[test]
+fn a_chaos_campaign_self_heals_to_fault_free_bytes() {
+    let base = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("cached-chaos");
+    let _ = std::fs::remove_dir_all(&base);
+    let list = exps(&["fig3", "fig4"]);
+
+    // The fault-free reference run.
+    let clean_dir = base.join("clean");
+    let o0 = rayon::with_num_threads(1, || {
+        run_cached_campaign(8, 0x5EED, 1, &clean_dir, &base.join("cas-clean"), &list, None, &plain())
+    })
+    .unwrap();
+    assert!(o0.failed.is_empty(), "failed: {:?}", o0.failed);
+
+    // Deterministic event trace (1 worker, sequential submit → wait):
+    //   fig3: exec#1 ok → publish#1 TORN  → retry
+    //         exec#2 ok → publish#2 CORRUPT → Done but poisoned; the
+    //         heal loop's probe quarantines it and resubmits
+    //         exec#3 ok → publish#3 ok → healed
+    //   fig4: exec#4 PANIC → retry → exec#5 ok → publish#4 ok
+    let chaos = CachedOptions {
+        fault_plan: Some("torn@1,corrupt@2,panic@4".to_string()),
+        fault_seed: 42,
+        max_attempts: 4,
+        cas_max_bytes: None,
+    };
+    let chaos_dir = base.join("chaos");
+    let o1 = rayon::with_num_threads(1, || {
+        run_cached_campaign(8, 0x5EED, 1, &chaos_dir, &base.join("cas-chaos"), &list, None, &chaos)
+    })
+    .unwrap();
+    assert!(
+        o1.failed.is_empty(),
+        "the chaos campaign must self-heal, not fail: {:?}",
+        o1.failed
+    );
+
+    // Every result file converges to the fault-free bytes.
+    for name in ["fig3.json", "fig4.json"] {
+        assert_eq!(
+            read(&chaos_dir.join(name)),
+            read(&clean_dir.join(name)),
+            "{name} differs from the fault-free run"
+        );
+    }
+
+    // The stats snapshot records the recovery work the plan forced.
+    let text = String::from_utf8(read(&chaos_dir.join("service-stats.json"))).unwrap();
+    let Ok(serde::Value::Map(map)) = serde_json::from_str::<serde::Value>(&text) else {
+        panic!("service-stats.json must be a JSON map:\n{text}")
+    };
+    let field = |k: &str| {
+        map.iter()
+            .find(|(n, _)| n == k)
+            .unwrap_or_else(|| panic!("stats must carry `{k}`:\n{text}"))
+            .1
+            .clone()
+    };
+    assert_eq!(field("retries"), serde::Value::U64(2), "torn + panic each retry");
+    assert_eq!(field("faults_injected"), serde::Value::U64(3));
+    assert_eq!(field("failed"), serde::Value::U64(0));
+    let serde::Value::Map(store) = field("store") else {
+        panic!("store stats must be a map")
+    };
+    assert!(
+        store.iter().any(|(k, v)| k == "quarantined" && *v == serde::Value::U64(1)),
+        "the poisoned entry must be quarantined: {text}"
+    );
 }

@@ -15,9 +15,14 @@
 //!   checksums, published atomically (write-then-rename) and verified
 //!   on every read;
 //! * [`scheduler`] — [`Scheduler`]: the worker
-//!   pool, job lifecycle (`Queued → Running → Done/Failed`, plus
-//!   `Cancelled` for jobs pulled from the queue), singleflight, and the
-//!   cache-first execution path;
+//!   pool, job lifecycle (`Queued → Running → Done/Failed/TimedOut`,
+//!   plus `Cancelled` for jobs pulled from the queue), singleflight,
+//!   bounded retries, the per-job watchdog, the RSS-aware admission
+//!   gate, and the cache-first execution path;
+//! * [`fault`] — the deterministic chaos layer: a
+//!   [`fault::FaultPlan`] schedules worker panics, execute errors,
+//!   delays, torn publishes, and checksum corruption onto exact event
+//!   indices, replayable byte-for-byte from `(seed, plan)`;
 //! * [`stats`] — the byte-stable service statistics snapshot;
 //! * [`proto`] — the newline-delimited JSON request/response wire
 //!   format;
@@ -39,6 +44,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod fault;
 pub mod job;
 pub mod proto;
 pub mod scheduler;
@@ -47,6 +53,7 @@ pub mod server;
 pub mod stats;
 pub mod store;
 
+pub use fault::{FaultInjector, FaultPlan};
 pub use job::{Job, JobKey, Priority};
-pub use scheduler::{JobBackend, JobOutput, Scheduler};
+pub use scheduler::{JobBackend, JobOutput, Scheduler, SchedulerConfig, WaitOutcome};
 pub use store::ResultStore;

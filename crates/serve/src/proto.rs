@@ -37,11 +37,16 @@ pub enum Request {
         priority: Priority,
         /// Block the connection until the job is terminal.
         wait: bool,
+        /// Upper bound (ms) on a waiting submit's block; `None` waits
+        /// forever. Ignored without `wait`.
+        timeout_ms: Option<u64>,
     },
     /// Snapshot one job.
     Status(JobKey),
-    /// Block until one job is terminal, then snapshot it.
-    Wait(JobKey),
+    /// Block until one job is terminal (bounded by the optional
+    /// `timeout_ms`), then snapshot it. A timed-out wait answers with
+    /// the in-flight snapshot plus `"wait_timed_out":true`.
+    Wait(JobKey, Option<u64>),
     /// Cancel a queued job.
     Cancel(JobKey),
     /// Service statistics snapshot.
@@ -112,6 +117,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 Some(Value::Bool(b)) => *b,
                 Some(_) => return Err("field `wait` must be a boolean".to_string()),
             };
+            let timeout_ms = get_u64_opt(&map, "timeout_ms")?;
             Ok(Request::Submit {
                 experiment,
                 scale,
@@ -119,10 +125,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 threads,
                 priority,
                 wait,
+                timeout_ms,
             })
         }
         "status" => Ok(Request::Status(get_key(&map, "key")?)),
-        "wait" => Ok(Request::Wait(get_key(&map, "key")?)),
+        "wait" => Ok(Request::Wait(
+            get_key(&map, "key")?,
+            get_u64_opt(&map, "timeout_ms")?,
+        )),
         "cancel" => Ok(Request::Cancel(get_key(&map, "key")?)),
         "stats" => Ok(Request::Stats),
         "shutdown" => Ok(Request::Shutdown),
@@ -170,6 +180,7 @@ pub fn snapshot_value(s: &JobSnapshot) -> Value {
         ),
         ("status".to_string(), Value::Str(s.status.as_str().to_string())),
         ("cache_hit".to_string(), Value::Bool(s.cache_hit)),
+        ("attempts".to_string(), Value::U64(s.attempts)),
         ("wall_ms".to_string(), Value::F64(s.wall_ms)),
         ("queue_wait_ms".to_string(), Value::F64(s.queue_wait_ms)),
         ("dedup_hits".to_string(), Value::U64(s.dedup_hits)),
@@ -187,6 +198,17 @@ pub fn snapshot_value(s: &JobSnapshot) -> Value {
 /// A job snapshot — one line.
 pub fn render_snapshot(s: &JobSnapshot) -> String {
     compact(&snapshot_value(s))
+}
+
+/// A bounded wait that ran out of time: the in-flight snapshot plus
+/// `"wait_timed_out":true` — one line. Still `ok:true`; the job keeps
+/// running and the client can re-issue the wait.
+pub fn render_wait_timeout(s: &JobSnapshot) -> String {
+    let Value::Map(mut fields) = snapshot_value(s) else {
+        unreachable!("snapshot_value always renders a map")
+    };
+    fields.push(("wait_timed_out".to_string(), Value::Bool(true)));
+    compact(&Value::Map(fields))
 }
 
 /// A cancel acknowledgement — one line.
@@ -217,7 +239,7 @@ mod tests {
     #[test]
     fn submit_parses_full_and_minimal_forms() {
         let r = parse_request(
-            r#"{"op":"submit","experiment":"fig3","scale":10,"seed":24301,"threads":2,"priority":"high","wait":true}"#,
+            r#"{"op":"submit","experiment":"fig3","scale":10,"seed":24301,"threads":2,"priority":"high","wait":true,"timeout_ms":250}"#,
         )
         .unwrap();
         assert_eq!(
@@ -229,6 +251,7 @@ mod tests {
                 threads: Some(2),
                 priority: Priority::High,
                 wait: true,
+                timeout_ms: Some(250),
             }
         );
         let r = parse_request(r#"{"op":"submit","experiment":"fig3"}"#).unwrap();
@@ -241,6 +264,7 @@ mod tests {
                 threads: None,
                 priority: Priority::Normal,
                 wait: false,
+                timeout_ms: None,
             }
         );
     }
@@ -260,7 +284,7 @@ mod tests {
         let key = "0123456789abcdef";
         for (op, want) in [
             ("status", Request::Status(JobKey::parse(key).unwrap())),
-            ("wait", Request::Wait(JobKey::parse(key).unwrap())),
+            ("wait", Request::Wait(JobKey::parse(key).unwrap(), None)),
             ("cancel", Request::Cancel(JobKey::parse(key).unwrap())),
         ] {
             let r = parse_request(&format!(r#"{{"op":"{op}","key":"{key}"}}"#)).unwrap();
@@ -268,6 +292,20 @@ mod tests {
             assert!(parse_request(&format!(r#"{{"op":"{op}","key":"zz"}}"#)).is_err());
             assert!(parse_request(&format!(r#"{{"op":"{op}"}}"#)).is_err());
         }
+    }
+
+    #[test]
+    fn wait_parses_its_timeout() {
+        let key = "0123456789abcdef";
+        let r = parse_request(&format!(
+            r#"{{"op":"wait","key":"{key}","timeout_ms":1500}}"#
+        ))
+        .unwrap();
+        assert_eq!(r, Request::Wait(JobKey::parse(key).unwrap(), Some(1500)));
+        assert!(
+            parse_request(&format!(r#"{{"op":"wait","key":"{key}","timeout_ms":"soon"}}"#))
+                .is_err()
+        );
     }
 
     #[test]

@@ -3,16 +3,30 @@
 //! Jobs are submitted into three FIFO **priority lanes** (`high` /
 //! `normal` / `low`); a fixed pool of worker threads drains `high`
 //! before `normal` before `low`, FIFO within each lane. Every job walks
-//! the lifecycle `Queued → Running → Done | Failed`, with `Cancelled`
-//! reachable only from `Queued` (a running simulation is never torn
-//! down mid-flight — its result is still deterministic and cacheable).
+//! the lifecycle `Queued → Running → Done | Failed | TimedOut`, with
+//! `Cancelled` reachable only from `Queued` (a running simulation is
+//! never torn down mid-flight — its result is still deterministic and
+//! cacheable).
 //!
 //! **Singleflight.** Submissions are collapsed by [`JobKey`]: while a
 //! key is queued, running, or already done, further submissions of the
 //! same key return the existing entry instead of enqueueing a second
 //! execution (`deduped` in the submit outcome; a per-entry counter
-//! records how many submissions collapsed). A `Failed` or `Cancelled`
-//! key is re-armed by the next submission.
+//! records how many submissions collapsed). A `Failed`, `Cancelled`, or
+//! `TimedOut` key is re-armed by the next submission — and so is a
+//! `Done` key whose stored result no longer verifies (evicted or
+//! corrupted since), which is how a damaged cache entry self-heals on
+//! resubmit instead of dedup-ing forever onto a phantom result.
+//!
+//! **Retry & watchdog.** A failed execution re-enters the tail of its
+//! lane while the entry's attempt count is below
+//! [`SchedulerConfig::max_attempts`] — retry ordering is a pure
+//! function of attempt counts and lane FIFO order, never of wall-clock
+//! (rule D2 stays confined to telemetry). With
+//! [`SchedulerConfig::job_timeout_ms`] set, a watchdog thread marks
+//! runaway executions `TimedOut` and re-arms the key; the straggler's
+//! eventual completion is discarded by a per-entry generation check
+//! (its published result, if any, stays valid in the store).
 //!
 //! **Cache-first execution.** A worker first probes the
 //! [`ResultStore`]; a verified hit completes the job without touching
@@ -20,19 +34,35 @@
 //! publishes the result atomically. Combined with singleflight this
 //! gives the service the serving-stack property: N concurrent identical
 //! requests cost one simulation, and repeats across process lifetimes
-//! cost none.
+//! cost none. With [`SchedulerConfig::cas_max_bytes`] set, each
+//! publication is followed by a store GC pass so the CAS stays bounded.
 //!
-//! Wall-clock here (queue wait, execution time) is scheduling
-//! telemetry: it lands only in CAS manifests and stats snapshots, both
-//! of which exempt those fields from byte-stability, and never in
-//! result payloads.
+//! **Admission gate.** With [`SchedulerConfig::mem_budget_bytes`] set,
+//! a queued job is only dispatched while the estimated bytes of
+//! running jobs ([`JobBackend::admission_bytes`]) plus its own fit the
+//! budget; oversized candidates stay queued (`admission_deferred` in
+//! stats) until capacity frees. A job is always admitted when nothing
+//! is running, so progress is guaranteed and a single over-budget job
+//! degrades to serial execution instead of starving.
+//!
+//! **Fault injection.** With [`SchedulerConfig::faults`] attached, the
+//! execute path consults the [`FaultInjector`] before each fresh
+//! execution: injected panics unwind through the *real*
+//! `catch_unwind` containment, injected errors walk the real
+//! failed-job path, injected delays exercise the watchdog.
+//!
+//! Wall-clock here (queue wait, execution time, watchdog deadlines) is
+//! scheduling telemetry: it lands only in CAS manifests and stats
+//! snapshots, both of which exempt those fields from byte-stability,
+//! and never in result payloads.
 
+use crate::fault::{ExecFault, FaultInjector};
 use crate::job::{canonical, Job, JobKey, Priority};
-use crate::stats::{ExperimentStat, Stats};
+use crate::stats::{ExperimentStat, Stats, StoreStats};
 use crate::store::{manifest_for, FingerprintEntry, ResultStore};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What one executed job produced: named result payloads, verbatim
 /// bytes. Names become files both in the CAS entry and in whatever
@@ -57,6 +87,36 @@ pub trait JobBackend: Send + Sync {
     /// deterministic for a fixed job: byte-identical payloads on every
     /// call — the property that makes the result store sound.
     fn execute(&self, key: &JobKey, job: &Job) -> Result<JobOutput, String>;
+
+    /// Estimated peak working-set bytes of executing this job, consumed
+    /// by the admission gate ([`SchedulerConfig::mem_budget_bytes`]).
+    /// The default (0) admits unconditionally.
+    fn admission_bytes(&self, _job: &Job) -> u64 {
+        0
+    }
+}
+
+/// Scheduler construction knobs. [`Default`] gives one worker, no
+/// retries, no timeout, no budgets, no faults — the PR 8 behaviour.
+#[derive(Clone, Default)]
+pub struct SchedulerConfig {
+    /// Worker pool size (clamped to ≥ 1).
+    pub workers: usize,
+    /// Execution attempts before a job is finally `Failed` (clamped to
+    /// ≥ 1). Attempt counts — not wall-clock — order retries.
+    pub max_attempts: u64,
+    /// Per-job execution timeout: a watchdog marks jobs running longer
+    /// than this `TimedOut` and re-arms the key. `None` disables.
+    pub job_timeout_ms: Option<u64>,
+    /// Admission budget: estimated bytes of concurrently running jobs
+    /// are kept at or below this. `None` admits everything.
+    pub mem_budget_bytes: Option<u64>,
+    /// Store byte budget: every publication triggers
+    /// [`ResultStore::gc`] down to this size. `None` disables.
+    pub cas_max_bytes: Option<u64>,
+    /// Fault injector for the execute path (chaos testing). Attach the
+    /// same injector to the store for publish-path faults.
+    pub faults: Option<Arc<FaultInjector>>,
 }
 
 /// Job lifecycle state.
@@ -68,14 +128,17 @@ pub enum JobStatus {
     Running,
     /// Finished successfully; results are in the store.
     Done,
-    /// The backend reported an error (or panicked).
+    /// The backend reported an error (or panicked) on every attempt.
     Failed,
     /// Pulled from the queue before a worker picked it up.
     Cancelled,
+    /// Ran past the per-job timeout; the key is re-armed for resubmit.
+    TimedOut,
 }
 
 impl JobStatus {
-    /// Wire name (`queued` / `running` / `done` / `failed` / `cancelled`).
+    /// Wire name (`queued` / `running` / `done` / `failed` /
+    /// `cancelled` / `timed_out`).
     pub fn as_str(self) -> &'static str {
         match self {
             JobStatus::Queued => "queued",
@@ -83,12 +146,16 @@ impl JobStatus {
             JobStatus::Done => "done",
             JobStatus::Failed => "failed",
             JobStatus::Cancelled => "cancelled",
+            JobStatus::TimedOut => "timed_out",
         }
     }
 
-    /// Whether the lifecycle can no longer advance.
+    /// Whether the lifecycle can no longer advance (without a re-arm).
     pub fn is_terminal(self) -> bool {
-        matches!(self, JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled)
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Failed | JobStatus::Cancelled | JobStatus::TimedOut
+        )
     }
 }
 
@@ -105,6 +172,9 @@ pub struct JobSnapshot {
     pub status: JobStatus,
     /// Whether completion came from the result store.
     pub cache_hit: bool,
+    /// Execution attempts so far (1 on the clean path; >1 after
+    /// retries).
+    pub attempts: u64,
     /// Execution wall-clock (ms) — 0 until terminal; telemetry.
     pub wall_ms: f64,
     /// Time spent queued before a worker picked the job up (ms) —
@@ -112,7 +182,8 @@ pub struct JobSnapshot {
     pub queue_wait_ms: f64,
     /// How many submissions collapsed onto this entry after the first.
     pub dedup_hits: u64,
-    /// Backend error for `Failed` jobs.
+    /// Backend error for `Failed` jobs (and the last attempt's error
+    /// while retries are still pending).
     pub error: Option<String>,
     /// Result payload names (CAS entry contents) once `Done`.
     pub files: Vec<String>,
@@ -128,18 +199,40 @@ pub struct SubmitOutcome {
     pub deduped: bool,
 }
 
+/// Outcome of a bounded wait ([`Scheduler::wait_timeout`]).
+#[derive(Debug, Clone)]
+pub enum WaitOutcome {
+    /// The key is not (or no longer) known to the scheduler — also the
+    /// escape hatch when an entry is pruned mid-wait.
+    Unknown,
+    /// The job reached a terminal state.
+    Terminal(JobSnapshot),
+    /// The timeout elapsed first; the job is still in flight.
+    Pending(JobSnapshot),
+}
+
 struct Entry {
     job: Job,
     priority: Priority,
     status: JobStatus,
     cache_hit: bool,
+    attempts: u64,
+    /// Bumped on every re-arm and timeout; a worker's completion is
+    /// discarded when its pickup generation no longer matches.
+    generation: u64,
     wall_ms: f64,
     queue_wait_ms: f64,
     dedup_hits: u64,
     error: Option<String>,
     files: Vec<String>,
     fingerprints: Vec<(String, u64)>,
+    admission_bytes: u64,
+    /// Whether the admission gate has deferred this entry at least once
+    /// since it was (re-)queued — dedups the `admission_deferred`
+    /// counter across repeated scans.
+    deferred: bool,
     queued_at: Instant,
+    started_at: Option<Instant>,
 }
 
 impl Entry {
@@ -150,6 +243,7 @@ impl Entry {
             priority: self.priority,
             status: self.status,
             cache_hit: self.cache_hit,
+            attempts: self.attempts,
             wall_ms: self.wall_ms,
             queue_wait_ms: self.queue_wait_ms,
             dedup_hits: self.dedup_hits,
@@ -167,12 +261,17 @@ struct Counters {
     deduped: u64,
     cache_hits: u64,
     cache_misses: u64,
+    retries: u64,
+    timed_out: u64,
+    admission_deferred: u64,
 }
 
 struct State {
     lanes: [VecDeque<JobKey>; 3],
     entries: BTreeMap<JobKey, Entry>,
     running: usize,
+    /// Sum of `admission_bytes` over currently running jobs.
+    running_bytes: u64,
     shutdown: bool,
     counters: Counters,
     per_experiment: BTreeMap<String, (u64, f64)>,
@@ -181,6 +280,7 @@ struct State {
 struct Inner {
     backend: Arc<dyn JobBackend>,
     store: ResultStore,
+    cfg: SchedulerConfig,
     state: Mutex<State>,
     work_cv: Condvar,
     done_cv: Condvar,
@@ -194,15 +294,36 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
-    /// Spawn a scheduler with `workers` pool threads (clamped to ≥ 1).
+    /// Spawn a scheduler with `workers` pool threads (clamped to ≥ 1)
+    /// and default behaviour (no retries/timeout/budgets/faults).
     pub fn new(store: ResultStore, backend: Arc<dyn JobBackend>, workers: usize) -> Arc<Self> {
+        Self::with_config(
+            store,
+            backend,
+            SchedulerConfig {
+                workers,
+                ..SchedulerConfig::default()
+            },
+        )
+    }
+
+    /// Spawn a scheduler with explicit [`SchedulerConfig`] knobs.
+    pub fn with_config(
+        store: ResultStore,
+        backend: Arc<dyn JobBackend>,
+        cfg: SchedulerConfig,
+    ) -> Arc<Self> {
+        let workers = cfg.workers.max(1);
+        let timeout = cfg.job_timeout_ms.map(Duration::from_millis);
         let inner = Arc::new(Inner {
             backend,
             store,
+            cfg,
             state: Mutex::new(State {
                 lanes: [VecDeque::new(), VecDeque::new(), VecDeque::new()],
                 entries: BTreeMap::new(),
                 running: 0,
+                running_bytes: 0,
                 shutdown: false,
                 counters: Counters::default(),
                 per_experiment: BTreeMap::new(),
@@ -210,7 +331,7 @@ impl Scheduler {
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
         });
-        let handles = (0..workers.max(1))
+        let mut handles: Vec<std::thread::JoinHandle<()>> = (0..workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
                 std::thread::Builder::new()
@@ -219,6 +340,15 @@ impl Scheduler {
                     .expect("spawn scheduler worker")
             })
             .collect();
+        if let Some(timeout) = timeout {
+            let inner = Arc::clone(&inner);
+            handles.push(
+                std::thread::Builder::new()
+                    .name("cxlg-serve-watchdog".to_string())
+                    .spawn(move || watchdog_loop(&inner, timeout))
+                    .expect("spawn scheduler watchdog"),
+            );
+        }
         Arc::new(Scheduler {
             inner,
             workers: Mutex::new(handles),
@@ -236,27 +366,43 @@ impl Scheduler {
     /// onto an existing one (singleflight).
     pub fn submit(&self, job: Job, priority: Priority) -> Result<SubmitOutcome, String> {
         let fingerprints = self.inner.backend.fingerprints(&job)?;
+        let admission_bytes = self.inner.backend.admission_bytes(&job);
         let key = JobKey::derive(&job, &fingerprints);
         let mut st = self.inner.state.lock().unwrap();
         if st.shutdown {
             return Err("scheduler is shut down".to_string());
         }
         if let Some(e) = st.entries.get_mut(&key) {
-            if e.status != JobStatus::Failed && e.status != JobStatus::Cancelled {
+            let mut rearm = matches!(
+                e.status,
+                JobStatus::Failed | JobStatus::Cancelled | JobStatus::TimedOut
+            );
+            if e.status == JobStatus::Done && self.inner.store.probe(&key).is_none() {
+                // The cached result vanished (evicted, corrupted and
+                // quarantined, store wiped): a Done entry must not
+                // dedup onto a phantom — re-execute to self-heal.
+                rearm = true;
+            }
+            if !rearm {
                 e.dedup_hits += 1;
                 st.counters.deduped += 1;
                 return Ok(SubmitOutcome { key, deduped: true });
             }
-            // Re-arm a failed/cancelled entry.
+            // Re-arm the entry for a fresh execution round.
             e.status = JobStatus::Queued;
             e.priority = priority;
             e.cache_hit = false;
+            e.attempts = 0;
+            e.generation += 1;
             e.wall_ms = 0.0;
             e.queue_wait_ms = 0.0;
             e.error = None;
             e.files.clear();
             e.fingerprints = fingerprints;
+            e.admission_bytes = admission_bytes;
+            e.deferred = false;
             e.queued_at = Instant::now();
+            e.started_at = None;
         } else {
             st.entries.insert(
                 key.clone(),
@@ -265,13 +411,18 @@ impl Scheduler {
                     priority,
                     status: JobStatus::Queued,
                     cache_hit: false,
+                    attempts: 0,
+                    generation: 0,
                     wall_ms: 0.0,
                     queue_wait_ms: 0.0,
                     dedup_hits: 0,
                     error: None,
                     files: Vec::new(),
                     fingerprints,
+                    admission_bytes,
+                    deferred: false,
                     queued_at: Instant::now(),
+                    started_at: None,
                 },
             );
         }
@@ -288,15 +439,43 @@ impl Scheduler {
     }
 
     /// Block until the job reaches a terminal state; `None` for an
-    /// unknown key.
+    /// unknown (or pruned-mid-wait) key.
     pub fn wait(&self, key: &JobKey) -> Option<JobSnapshot> {
+        match self.wait_timeout(key, None) {
+            WaitOutcome::Terminal(snap) => Some(snap),
+            WaitOutcome::Unknown | WaitOutcome::Pending(_) => None,
+        }
+    }
+
+    /// Block until the job reaches a terminal state, the key
+    /// disappears, or `timeout` elapses (`None` waits forever). Unlike
+    /// the PR 8 `wait`, a waiter can no longer hang on a key whose
+    /// entry is pruned or whose terminal state it missed: pruning
+    /// notifies the condvar and the `Unknown` arm returns.
+    pub fn wait_timeout(&self, key: &JobKey, timeout: Option<Duration>) -> WaitOutcome {
+        let deadline = timeout.map(|t| Instant::now() + t);
         let mut st = self.inner.state.lock().unwrap();
         loop {
             match st.entries.get(key) {
-                None => return None,
-                Some(e) if e.status.is_terminal() => return Some(e.snapshot(key)),
-                Some(_) => st = self.inner.done_cv.wait(st).unwrap(),
+                None => return WaitOutcome::Unknown,
+                Some(e) if e.status.is_terminal() => {
+                    return WaitOutcome::Terminal(e.snapshot(key))
+                }
+                Some(e) => {
+                    if let Some(deadline) = deadline {
+                        if Instant::now() >= deadline {
+                            return WaitOutcome::Pending(e.snapshot(key));
+                        }
+                    }
+                }
             }
+            st = match deadline {
+                None => self.inner.done_cv.wait(st).unwrap(),
+                Some(deadline) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    self.inner.done_cv.wait_timeout(st, remaining).unwrap().0
+                }
+            };
         }
     }
 
@@ -318,6 +497,26 @@ impl Scheduler {
         true
     }
 
+    /// Drop every terminal entry from the scheduler's table (the CAS
+    /// keeps the results; only in-memory bookkeeping goes). Waiters
+    /// blocked on a pruned key observe `Unknown` instead of hanging.
+    /// Returns how many entries were pruned.
+    pub fn prune_terminal(&self) -> usize {
+        let mut st = self.inner.state.lock().unwrap();
+        let doomed: Vec<JobKey> = st
+            .entries
+            .iter()
+            .filter(|(_, e)| e.status.is_terminal())
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in &doomed {
+            st.entries.remove(key);
+        }
+        drop(st);
+        self.inner.done_cv.notify_all();
+        doomed.len()
+    }
+
     /// Block until every queued job has been picked up and every
     /// running job has finished.
     pub fn drain(&self) {
@@ -336,8 +535,10 @@ impl Scheduler {
     }
 
     /// Service statistics snapshot (byte-stable modulo the wall-clock
-    /// fields; see [`crate::stats`]).
+    /// and RSS fields; see [`crate::stats`]).
     pub fn stats(&self) -> Stats {
+        let store_counters = self.inner.store.counters();
+        let store_entries = self.inner.store.len() as u64;
         let st = self.inner.state.lock().unwrap();
         let mut queue_depth = [0usize; 3];
         for (lane, depth) in queue_depth.iter_mut().enumerate() {
@@ -359,6 +560,23 @@ impl Scheduler {
             deduped: st.counters.deduped,
             cache_hits: st.counters.cache_hits,
             cache_misses: st.counters.cache_misses,
+            retries: st.counters.retries,
+            timed_out: st.counters.timed_out,
+            admission_deferred: st.counters.admission_deferred,
+            faults_injected: self
+                .inner
+                .cfg
+                .faults
+                .as_ref()
+                .map_or(0, |f| f.fired_count()),
+            store: StoreStats {
+                staging_reaped: store_counters.staging_reaped,
+                quarantined: store_counters.quarantined,
+                evicted: store_counters.evicted,
+                entries: store_entries,
+            },
+            rss_now_kb: cxlg_core::mem::current_rss_kb(),
+            rss_peak_kb: cxlg_core::mem::peak_rss_kb(),
             per_experiment: st
                 .per_experiment
                 .iter()
@@ -408,43 +626,148 @@ impl Drop for Scheduler {
 }
 
 fn worker_loop(inner: &Inner) {
-    while let Some((key, job, fingerprints)) = next_job(inner) {
-        run_one(inner, &key, &job, &fingerprints);
+    while let Some(picked) = next_job(inner) {
+        run_one(inner, &picked);
     }
 }
 
-/// Pop the next live queued job, preferring lower lane indices; park on
-/// the work condvar while all lanes are empty. `None` on shutdown.
-fn next_job(inner: &Inner) -> Option<(JobKey, Job, Vec<(String, u64)>)> {
+/// Everything a worker needs to execute one pickup and report it back.
+struct Picked {
+    key: JobKey,
+    job: Job,
+    fingerprints: Vec<(String, u64)>,
+    generation: u64,
+    admission_bytes: u64,
+}
+
+/// Claim the next admissible queued job, preferring lower lane indices
+/// and FIFO order within a lane; park on the work condvar while nothing
+/// is claimable. `None` on shutdown.
+///
+/// With a memory budget configured, a candidate whose
+/// `admission_bytes` would push the running estimate past the budget
+/// is left queued (deferred) and the scan moves on — unless nothing is
+/// running, in which case it is admitted unconditionally so one
+/// over-budget job degrades to serial execution instead of deadlock.
+fn next_job(inner: &Inner) -> Option<Picked> {
     let mut st = inner.state.lock().unwrap();
     loop {
         if st.shutdown {
             return None;
         }
-        let popped = (0..3).find_map(|lane| st.lanes[lane].pop_front());
-        match popped {
-            Some(key) => {
-                let Some(e) = st.entries.get_mut(&key) else {
-                    continue;
-                };
-                if e.status != JobStatus::Queued {
+        let mut newly_deferred = 0u64;
+        let mut claimed: Option<Picked> = None;
+        'scan: for lane in 0..3 {
+            let mut idx = 0;
+            while idx < st.lanes[lane].len() {
+                let key = st.lanes[lane][idx].clone();
+                let live_queued = st
+                    .entries
+                    .get(&key)
+                    .is_some_and(|e| e.status == JobStatus::Queued);
+                if !live_queued {
                     // Cancelled while queued (tombstone), or a stale
-                    // lane entry from a re-armed key: skip.
+                    // lane entry from a re-armed key: drop it.
+                    st.lanes[lane].remove(idx);
                     continue;
                 }
+                let admit = {
+                    let e = &st.entries[&key];
+                    match inner.cfg.mem_budget_bytes {
+                        None => true,
+                        Some(budget) => {
+                            st.running == 0
+                                || st.running_bytes.saturating_add(e.admission_bytes) <= budget
+                        }
+                    }
+                };
+                if !admit {
+                    let e = st.entries.get_mut(&key).unwrap();
+                    if !e.deferred {
+                        e.deferred = true;
+                        newly_deferred += 1;
+                    }
+                    idx += 1;
+                    continue;
+                }
+                st.lanes[lane].remove(idx);
+                let e = st.entries.get_mut(&key).unwrap();
                 e.status = JobStatus::Running;
+                e.attempts += 1;
+                e.deferred = false;
                 e.queue_wait_ms = e.queued_at.elapsed().as_secs_f64() * 1e3;
-                let picked = (key.clone(), e.job.clone(), e.fingerprints.clone());
+                e.started_at = Some(Instant::now());
+                claimed = Some(Picked {
+                    key: key.clone(),
+                    job: e.job.clone(),
+                    fingerprints: e.fingerprints.clone(),
+                    generation: e.generation,
+                    admission_bytes: e.admission_bytes,
+                });
+                break 'scan;
+            }
+        }
+        st.counters.admission_deferred += newly_deferred;
+        match claimed {
+            Some(picked) => {
                 st.running += 1;
+                st.running_bytes = st.running_bytes.saturating_add(picked.admission_bytes);
                 return Some(picked);
             }
+            // Nothing claimable (lanes empty, or everything deferred):
+            // completions notify the work condvar, so deferred work is
+            // rescanned as soon as capacity frees.
             None => st = inner.work_cv.wait(st).unwrap(),
         }
     }
 }
 
-/// Execute (or replay) one job and record its terminal state.
-fn run_one(inner: &Inner, key: &JobKey, job: &Job, fingerprints: &[(String, u64)]) {
+/// Mark running jobs that outlived `timeout` as `TimedOut` and re-arm
+/// their keys (generation bump discards the straggler's completion).
+fn watchdog_loop(inner: &Inner, timeout: Duration) {
+    let poll = (timeout / 4).clamp(Duration::from_millis(5), Duration::from_millis(250));
+    let mut st = inner.state.lock().unwrap();
+    loop {
+        if st.shutdown {
+            return;
+        }
+        let overdue: Vec<JobKey> = st
+            .entries
+            .iter()
+            .filter(|(_, e)| {
+                e.status == JobStatus::Running
+                    && e.started_at.is_some_and(|s| s.elapsed() >= timeout)
+            })
+            .map(|(k, _)| k.clone())
+            .collect();
+        let fired = !overdue.is_empty();
+        for key in overdue {
+            let timed_out_ms = timeout.as_millis();
+            if let Some(e) = st.entries.get_mut(&key) {
+                e.status = JobStatus::TimedOut;
+                e.error = Some(format!("execution exceeded {timed_out_ms} ms (watchdog)"));
+                e.generation += 1;
+                st.counters.timed_out += 1;
+            }
+        }
+        if fired {
+            inner.done_cv.notify_all();
+        }
+        let (guard, _) = inner.done_cv.wait_timeout(st, poll).unwrap();
+        st = guard;
+    }
+}
+
+/// Execute (or replay) one job and record its terminal state — or
+/// re-queue it while attempts remain.
+fn run_one(inner: &Inner, picked: &Picked) {
+    let Picked {
+        key,
+        job,
+        fingerprints,
+        generation,
+        admission_bytes,
+    } = picked;
     let started = Instant::now();
     let (result, cache_hit) = match inner.store.probe(key) {
         Some(hit) => (
@@ -452,10 +775,25 @@ fn run_one(inner: &Inner, key: &JobKey, job: &Job, fingerprints: &[(String, u64)
             true,
         ),
         None => {
-            // Fresh execution. A panicking backend fails the job, not
-            // the worker thread.
+            // Fresh execution. A panicking backend — real or injected —
+            // fails the job, not the worker thread.
+            let fault = inner
+                .cfg
+                .faults
+                .as_ref()
+                .map_or(ExecFault::None, |f| f.on_execute());
             let (outcome, span) = cxlg_core::mem::rss_span(|| {
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    match fault {
+                        ExecFault::Panic => panic!("injected fault: worker panic"),
+                        ExecFault::Error => {
+                            return Err("injected fault: execute error".to_string())
+                        }
+                        ExecFault::DelayMs(ms) => {
+                            std::thread::sleep(Duration::from_millis(ms))
+                        }
+                        ExecFault::None => {}
+                    }
                     inner.backend.execute(key, job)
                 }))
                 .unwrap_or_else(|_| Err("backend panicked".to_string()))
@@ -479,10 +817,15 @@ fn run_one(inner: &Inner, key: &JobKey, job: &Job, fingerprints: &[(String, u64)
                     manifest.rss_peak_kb = span.after_kb;
                     manifest.rss_delta_kb = span.delta_kb();
                     match inner.store.publish(manifest, &output.files) {
-                        Ok(_) => (
-                            Ok(output.files.iter().map(|(n, _)| n.clone()).collect()),
-                            false,
-                        ),
+                        Ok(_) => {
+                            if let Some(max) = inner.cfg.cas_max_bytes {
+                                inner.store.gc(Some(max), None);
+                            }
+                            (
+                                Ok(output.files.iter().map(|(n, _)| n.clone()).collect()),
+                                false,
+                            )
+                        }
                         Err(e) => (Err(format!("result publication failed: {e}")), false),
                     }
                 }
@@ -493,33 +836,59 @@ fn run_one(inner: &Inner, key: &JobKey, job: &Job, fingerprints: &[(String, u64)
     let wall_ms = started.elapsed().as_secs_f64() * 1e3;
 
     let mut st = inner.state.lock().unwrap();
-    if cache_hit {
-        st.counters.cache_hits += 1;
-    } else {
-        st.counters.cache_misses += 1;
-    }
-    let exp_stat = st.per_experiment.entry(job.experiment.clone()).or_insert((0, 0.0));
-    exp_stat.0 += 1;
-    exp_stat.1 += wall_ms;
-    match &result {
-        Ok(_) => st.counters.completed += 1,
-        Err(_) => st.counters.failed += 1,
-    }
-    if let Some(e) = st.entries.get_mut(key) {
-        e.cache_hit = cache_hit;
-        e.wall_ms = wall_ms;
-        match result {
-            Ok(files) => {
-                e.status = JobStatus::Done;
-                e.files = files;
-            }
-            Err(msg) => {
-                e.status = JobStatus::Failed;
-                e.error = Some(msg);
+    st.running -= 1;
+    st.running_bytes = st.running_bytes.saturating_sub(*admission_bytes);
+    let current_generation = st.entries.get(key).map(|e| e.generation);
+    if current_generation == Some(*generation) {
+        if cache_hit {
+            st.counters.cache_hits += 1;
+        } else {
+            st.counters.cache_misses += 1;
+        }
+        let exp_stat = st.per_experiment.entry(job.experiment.clone()).or_insert((0, 0.0));
+        exp_stat.0 += 1;
+        exp_stat.1 += wall_ms;
+        let max_attempts = inner.cfg.max_attempts.max(1);
+        let mut requeue: Option<usize> = None;
+        if let Some(e) = st.entries.get_mut(key) {
+            e.cache_hit = cache_hit;
+            e.wall_ms = wall_ms;
+            match result {
+                Ok(files) => {
+                    e.status = JobStatus::Done;
+                    e.files = files;
+                }
+                Err(msg) => {
+                    e.error = Some(msg);
+                    if e.attempts < max_attempts {
+                        // Bounded retry: back into the tail of its lane.
+                        // Ordering is attempt-count + FIFO, never clock.
+                        e.status = JobStatus::Queued;
+                        e.queued_at = Instant::now();
+                        e.started_at = None;
+                        requeue = Some(e.priority.lane());
+                    } else {
+                        e.status = JobStatus::Failed;
+                    }
+                }
             }
         }
+        match requeue {
+            Some(lane) => {
+                st.counters.retries += 1;
+                st.lanes[lane].push_back(key.clone());
+            }
+            None => match st.entries.get(key).map(|e| e.status) {
+                Some(JobStatus::Done) => st.counters.completed += 1,
+                Some(JobStatus::Failed) => st.counters.failed += 1,
+                _ => {}
+            },
+        }
     }
-    st.running -= 1;
+    // else: the entry was timed out or re-armed while we ran — a
+    // published result stays valid in the store; the bookkeeping
+    // belongs to the new generation.
     drop(st);
+    inner.work_cv.notify_all();
     inner.done_cv.notify_all();
 }

@@ -10,7 +10,7 @@
 
 use crate::job::Job;
 use crate::proto::{self, Request};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{Scheduler, WaitOutcome};
 use std::io::{BufRead as _, BufReader, Write as _};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -135,6 +135,7 @@ pub fn respond(line: &str, scheduler: &Scheduler, defaults: SubmitDefaults) -> (
             threads,
             priority,
             wait,
+            timeout_ms,
         } => {
             let job = Job {
                 experiment,
@@ -146,10 +147,7 @@ pub fn respond(line: &str, scheduler: &Scheduler, defaults: SubmitDefaults) -> (
                 Err(e) => proto::render_error(&e),
                 Ok(outcome) => {
                     if wait {
-                        match scheduler.wait(&outcome.key) {
-                            Some(snap) => proto::render_snapshot(&snap),
-                            None => proto::render_error("job vanished while waiting"),
-                        }
+                        render_wait(scheduler, &outcome.key, timeout_ms)
                     } else {
                         match scheduler.status(&outcome.key) {
                             Some(snap) => {
@@ -165,15 +163,28 @@ pub fn respond(line: &str, scheduler: &Scheduler, defaults: SubmitDefaults) -> (
             Some(snap) => proto::render_snapshot(&snap),
             None => proto::render_error(&format!("unknown job key `{key}`")),
         },
-        Request::Wait(key) => match scheduler.wait(&key) {
-            Some(snap) => proto::render_snapshot(&snap),
-            None => proto::render_error(&format!("unknown job key `{key}`")),
-        },
+        Request::Wait(key, timeout_ms) => render_wait(scheduler, &key, timeout_ms),
         Request::Cancel(key) => proto::render_cancelled(scheduler.cancel(&key)),
         Request::Stats => proto::render_stats(&scheduler.stats()),
         Request::Shutdown => return (proto::render_shutdown(), true),
     };
     (resp, false)
+}
+
+/// Render a (possibly bounded) wait: terminal snapshot, timed-out
+/// in-flight snapshot, or an error for a key the scheduler no longer
+/// knows — the waiter always gets an answer instead of hanging.
+fn render_wait(
+    scheduler: &Scheduler,
+    key: &crate::job::JobKey,
+    timeout_ms: Option<u64>,
+) -> String {
+    let timeout = timeout_ms.map(std::time::Duration::from_millis);
+    match scheduler.wait_timeout(key, timeout) {
+        WaitOutcome::Terminal(snap) => proto::render_snapshot(&snap),
+        WaitOutcome::Pending(snap) => proto::render_wait_timeout(&snap),
+        WaitOutcome::Unknown => proto::render_error(&format!("unknown job key `{key}`")),
+    }
 }
 
 /// Client helper: connect to `socket`, send one request line, read one

@@ -3,9 +3,12 @@
 //!
 //! The snapshot is **byte-stable** for a given sequence of scheduler
 //! events — fixed field order, sorted per-experiment table — with the
-//! same exemption the campaign manifest carries: the cumulative
-//! wall-clock fields are host telemetry and are the only
-//! nondeterministic bytes in the rendering.
+//! same exemption the campaign manifest carries: the wall-clock and
+//! RSS fields (`cumulative_wall_ms`, `rss_now_kb`, `rss_peak_kb`) are
+//! host telemetry and are the only nondeterministic bytes in the
+//! rendering. A chaos run replayed from the same `(seed, plan)` must
+//! reproduce every other byte of this snapshot — that identity is
+//! ci.sh's replay gate.
 
 use serde::Value;
 
@@ -21,6 +24,19 @@ pub struct ExperimentStat {
     pub cumulative_wall_ms: f64,
 }
 
+/// Counters of the result store's recovery machinery.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Stale `.tmp-*` staging directories reaped on open.
+    pub staging_reaped: u64,
+    /// Entries quarantined after failing verification.
+    pub quarantined: u64,
+    /// Entries evicted by GC.
+    pub evicted: u64,
+    /// Entries currently in the store.
+    pub entries: u64,
+}
+
 /// Point-in-time service counters.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Stats {
@@ -30,7 +46,7 @@ pub struct Stats {
     pub running: usize,
     /// Jobs that reached `Done`.
     pub completed: u64,
-    /// Jobs that reached `Failed`.
+    /// Jobs that reached `Failed` (after exhausting retries).
     pub failed: u64,
     /// Jobs cancelled while queued.
     pub cancelled: u64,
@@ -40,6 +56,21 @@ pub struct Stats {
     pub cache_hits: u64,
     /// Completions that required fresh execution.
     pub cache_misses: u64,
+    /// Failed attempts re-queued under the retry budget.
+    pub retries: u64,
+    /// Executions marked `TimedOut` by the watchdog.
+    pub timed_out: u64,
+    /// Queued jobs the admission gate deferred at least once.
+    pub admission_deferred: u64,
+    /// Faults fired by the attached injector (0 without one).
+    pub faults_injected: u64,
+    /// Result-store recovery counters.
+    pub store: StoreStats,
+    /// Current process RSS (kB) — telemetry, exempt from
+    /// byte-stability.
+    pub rss_now_kb: u64,
+    /// Peak process RSS (kB) — telemetry, exempt from byte-stability.
+    pub rss_peak_kb: u64,
     /// Per-experiment cumulative table, sorted by experiment name.
     pub per_experiment: Vec<ExperimentStat>,
 }
@@ -73,7 +104,32 @@ impl Stats {
             ("deduped".to_string(), Value::U64(self.deduped)),
             ("cache_hits".to_string(), Value::U64(self.cache_hits)),
             ("cache_misses".to_string(), Value::U64(self.cache_misses)),
+            ("retries".to_string(), Value::U64(self.retries)),
+            ("timed_out".to_string(), Value::U64(self.timed_out)),
+            (
+                "admission_deferred".to_string(),
+                Value::U64(self.admission_deferred),
+            ),
+            (
+                "faults_injected".to_string(),
+                Value::U64(self.faults_injected),
+            ),
             ("hit_ratio".to_string(), Value::F64(self.hit_ratio())),
+            (
+                "store".to_string(),
+                Value::Map(vec![
+                    (
+                        "staging_reaped".to_string(),
+                        Value::U64(self.store.staging_reaped),
+                    ),
+                    ("quarantined".to_string(), Value::U64(self.store.quarantined)),
+                    ("evicted".to_string(), Value::U64(self.store.evicted)),
+                    ("entries".to_string(), Value::U64(self.store.entries)),
+                ]),
+            ),
+            // Telemetry: exempt from byte-stability, like wall-clock.
+            ("rss_now_kb".to_string(), Value::U64(self.rss_now_kb)),
+            ("rss_peak_kb".to_string(), Value::U64(self.rss_peak_kb)),
             (
                 "per_experiment".to_string(),
                 Value::Array(
@@ -83,7 +139,7 @@ impl Stats {
                             Value::Map(vec![
                                 ("experiment".to_string(), Value::Str(e.experiment.clone())),
                                 ("jobs".to_string(), Value::U64(e.jobs)),
-                                // Telemetry: the one exempt field.
+                                // Telemetry: exempt.
                                 (
                                     "cumulative_wall_ms".to_string(),
                                     Value::F64(e.cumulative_wall_ms),
@@ -116,6 +172,18 @@ mod tests {
             deduped: 3,
             cache_hits: 4,
             cache_misses: 1,
+            retries: 2,
+            timed_out: 1,
+            admission_deferred: 1,
+            faults_injected: 3,
+            store: StoreStats {
+                staging_reaped: 1,
+                quarantined: 1,
+                evicted: 2,
+                entries: 4,
+            },
+            rss_now_kb: 1024,
+            rss_peak_kb: 2048,
             per_experiment: vec![
                 ExperimentStat {
                     experiment: "fig3".to_string(),
@@ -141,20 +209,23 @@ mod tests {
     }
 
     #[test]
-    fn rendering_is_byte_stable_modulo_wall_fields() {
+    fn rendering_is_byte_stable_modulo_telemetry_fields() {
         let a = sample().render_json();
         let mut other = sample();
         // Only the exempt telemetry differs.
         other.per_experiment[0].cumulative_wall_ms = 99.0;
+        other.rss_now_kb = 777;
+        other.rss_peak_kb = 999;
         let b = other.render_json();
+        // The same strip ci.sh's chaos replay gate applies.
         let strip = |s: &str| {
             s.lines()
-                .filter(|l| !l.contains("cumulative_wall_ms"))
+                .filter(|l| !l.contains("wall_ms") && !l.contains("rss_"))
                 .collect::<Vec<_>>()
                 .join("\n")
         };
         assert_ne!(a, b);
-        assert_eq!(strip(&a), strip(&b), "non-wall bytes must be identical");
+        assert_eq!(strip(&a), strip(&b), "non-telemetry bytes must be identical");
         // And rendering the same snapshot twice is bytewise stable.
         assert_eq!(a, sample().render_json());
     }
@@ -176,9 +247,24 @@ mod tests {
                 "deduped",
                 "cache_hits",
                 "cache_misses",
+                "retries",
+                "timed_out",
+                "admission_deferred",
+                "faults_injected",
                 "hit_ratio",
+                "store",
+                "rss_now_kb",
+                "rss_peak_kb",
                 "per_experiment"
             ]
+        );
+        let Some((_, Value::Map(store))) = m.iter().find(|(k, _)| k == "store") else {
+            panic!("store must render a map")
+        };
+        let store_keys: Vec<&str> = store.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            store_keys,
+            vec!["staging_reaped", "quarantined", "evicted", "entries"]
         );
     }
 }

@@ -5,6 +5,7 @@
 //! ```text
 //! <root>/<jobkey>/manifest.json   job identity, integrity table, telemetry
 //! <root>/<jobkey>/<name>          one file per result payload (verbatim bytes)
+//! <root>/.quarantine/<key>.<n>    entries that failed verification (forensics)
 //! ```
 //!
 //! **Atomic publication.** A result is staged into a hidden
@@ -17,21 +18,40 @@
 //! produced byte-identical payloads by the determinism contract, so
 //! which one lands is unobservable.
 //!
+//! **Crash recovery on open.** A process that dies mid-publish leaves
+//! its `.tmp-<key>-<pid>` staging directory behind. [`ResultStore::new`]
+//! reaps every staging directory whose embedded pid is no longer alive
+//! (or is this process — our own litter from a previous open), and
+//! moves entries whose manifest is unreadable or names the wrong key
+//! into `.quarantine/` instead of serving them. Staging directories of
+//! *live* foreign publishers are left untouched.
+//!
 //! **Integrity on read.** [`ResultStore::probe`] re-hashes every
 //! payload against the manifest's FNV-64 + length table and
 //! cross-checks the recorded key. Any mismatch — truncation, bit rot,
-//! a manually edited file — removes the entry and reports a miss, so a
-//! corrupted cache entry is re-executed, never served.
+//! a manually edited file — quarantines the entry and reports a miss,
+//! so a corrupted cache entry is re-executed, never served.
 //!
-//! **Eviction under readers.** `probe` copies payload bytes out of the
-//! store before returning, so evicting an entry while a previous reader
-//! still holds its [`StoredResult`] is safe: the reader keeps its
-//! verified copy; the next probe simply misses.
+//! **Bounded growth.** Every published manifest carries a monotone
+//! publication sequence number (`seq`); [`ResultStore::gc`] evicts
+//! entries in ascending-`seq` order (LRU by publication) until the
+//! store fits the requested byte/entry budget. Eviction is safe under
+//! concurrent readers because `probe` copies payload bytes out before
+//! returning.
+//!
+//! **Fault injection.** When a [`FaultInjector`] is attached
+//! ([`ResultStore::with_faults`]), the publish path consults it: a
+//! `torn` fault aborts mid-stage leaving partial `.tmp-*` litter, a
+//! `corrupt` fault lands the entry then flips one deterministic payload
+//! byte. Both exercise exactly the recovery paths above.
 
+use crate::fault::{FaultInjector, PublishFault};
 use crate::job::{fnv64, Job, JobKey};
 use serde::{Deserialize, Serialize};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One graph input binding recorded in the manifest.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -62,6 +82,10 @@ pub struct StoredManifest {
     pub key: String,
     /// Human-auditable canonical string the key hashes.
     pub canonical: String,
+    /// Publication sequence number, monotone per store lineage —
+    /// orders LRU eviction ([`ResultStore::gc`]). Assigned by
+    /// [`ResultStore::publish`].
+    pub seq: u64,
     /// The job this result answers.
     pub job: Job,
     /// Graph inputs the key binds, sorted by label.
@@ -98,17 +122,86 @@ pub struct StoredResult {
     pub files: Vec<(String, Vec<u8>)>,
 }
 
+/// Monotone counters of the store's recovery machinery, surfaced in
+/// `serve --stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Stale `.tmp-*` staging directories reaped on open.
+    pub staging_reaped: u64,
+    /// Entries moved to `.quarantine/` (bad manifest, wrong key, failed
+    /// payload checksum).
+    pub quarantined: u64,
+    /// Entries evicted by [`ResultStore::gc`].
+    pub evicted: u64,
+}
+
+/// What one [`ResultStore::gc`] pass did.
+#[derive(Debug, Clone, Default)]
+pub struct GcReport {
+    /// Evicted keys, in eviction (ascending publication `seq`) order.
+    pub evicted: Vec<JobKey>,
+    /// Entry bytes before the pass.
+    pub bytes_before: u64,
+    /// Entry bytes after the pass.
+    pub bytes_after: u64,
+    /// Entry count before the pass.
+    pub entries_before: usize,
+}
+
 /// Content-addressed store rooted at one directory.
 pub struct ResultStore {
     root: PathBuf,
+    next_seq: AtomicU64,
+    staging_reaped: AtomicU64,
+    quarantined: AtomicU64,
+    evicted: AtomicU64,
+    faults: Option<Arc<FaultInjector>>,
+}
+
+/// Pid embedded in a `.tmp-<key>-<pid>` staging-directory name, if the
+/// name parses.
+fn staging_pid(name: &str) -> Option<u32> {
+    name.strip_prefix(".tmp-")?.rsplit_once('-')?.1.parse().ok()
+}
+
+/// Whether a staging directory's owner may still be publishing. Our own
+/// pid counts as dead: any `.tmp-*` of ours that survives to the next
+/// `open` is litter (publish removes its staging dir on every path).
+fn staging_owner_live(name: &str) -> bool {
+    match staging_pid(name) {
+        None => false, // malformed name: no live publisher writes these
+        Some(pid) if pid == std::process::id() => false,
+        #[cfg(target_os = "linux")]
+        Some(pid) => Path::new("/proc").join(pid.to_string()).exists(),
+        #[cfg(not(target_os = "linux"))]
+        Some(_) => true, // no liveness oracle: be conservative
+    }
 }
 
 impl ResultStore {
-    /// Open (creating if needed) a store rooted at `root`.
+    /// Open (creating if needed) a store rooted at `root`, running
+    /// crash recovery: stale staging directories are reaped, entries
+    /// with unreadable or key-mismatched manifests are quarantined, and
+    /// the publication sequence resumes past the highest stored `seq`.
     pub fn new(root: impl Into<PathBuf>) -> std::io::Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
-        Ok(ResultStore { root })
+        let store = ResultStore {
+            root,
+            next_seq: AtomicU64::new(1),
+            staging_reaped: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            faults: None,
+        };
+        store.recover();
+        Ok(store)
+    }
+
+    /// Attach a fault injector to the publish path (chaos testing).
+    pub fn with_faults(mut self, faults: Arc<FaultInjector>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// The store's root directory.
@@ -116,8 +209,69 @@ impl ResultStore {
         &self.root
     }
 
+    /// Snapshot of the recovery counters.
+    pub fn counters(&self) -> StoreCounters {
+        StoreCounters {
+            staging_reaped: self.staging_reaped.load(Ordering::SeqCst),
+            quarantined: self.quarantined.load(Ordering::SeqCst),
+            evicted: self.evicted.load(Ordering::SeqCst),
+        }
+    }
+
     fn entry_dir(&self, key: &JobKey) -> PathBuf {
         self.root.join(key.as_str())
+    }
+
+    /// Crash recovery, run once from [`ResultStore::new`].
+    fn recover(&self) {
+        let Ok(entries) = std::fs::read_dir(&self.root) else {
+            return;
+        };
+        let mut max_seq = 0u64;
+        for e in entries.flatten() {
+            let Some(name) = e.file_name().to_str().map(str::to_string) else {
+                continue;
+            };
+            let path = e.path();
+            if name.starts_with(".tmp-") {
+                if !staging_owner_live(&name) {
+                    let removed = if path.is_dir() {
+                        std::fs::remove_dir_all(&path).is_ok()
+                    } else {
+                        std::fs::remove_file(&path).is_ok()
+                    };
+                    if removed {
+                        self.staging_reaped.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                continue;
+            }
+            if JobKey::parse(&name).is_err() || !path.is_dir() {
+                continue;
+            }
+            let manifest = std::fs::read_to_string(path.join("manifest.json"))
+                .ok()
+                .and_then(|text| serde_json::from_str::<StoredManifest>(&text).ok())
+                .filter(|m| m.key == name);
+            match manifest {
+                Some(m) => max_seq = max_seq.max(m.seq),
+                None => self.quarantine(&path, &name),
+            }
+        }
+        self.next_seq
+            .store(max_seq.saturating_add(1), Ordering::SeqCst);
+    }
+
+    /// Move a failed entry aside for forensics instead of serving it.
+    /// Falls back to deletion if the rename fails (e.g. cross-device).
+    fn quarantine(&self, dir: &Path, key_name: &str) {
+        let n = self.quarantined.fetch_add(1, Ordering::SeqCst) + 1;
+        let qroot = self.root.join(".quarantine");
+        let moved = std::fs::create_dir_all(&qroot).is_ok()
+            && std::fs::rename(dir, qroot.join(format!("{key_name}.{n}"))).is_ok();
+        if !moved {
+            let _ = std::fs::remove_dir_all(dir);
+        }
     }
 
     /// Stage and atomically publish an entry. Returns `Ok(false)` when
@@ -144,6 +298,7 @@ impl ResultStore {
                 ));
             }
         }
+        manifest.seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
         manifest.files = files
             .iter()
             .map(|(name, bytes)| FileEntry {
@@ -153,6 +308,11 @@ impl ResultStore {
             })
             .collect();
         manifest.files.sort_by(|a, b| a.name.cmp(&b.name));
+
+        let fault = match &self.faults {
+            Some(f) => f.on_publish(),
+            None => PublishFault::None,
+        };
 
         let dest = self.entry_dir(&key);
         if dest.exists() {
@@ -170,28 +330,64 @@ impl ResultStore {
         let manifest_json = serde_json::to_string_pretty(&manifest)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
         write(&tmp.join("manifest.json"), manifest_json.as_bytes())?;
+        if fault == PublishFault::Torn {
+            // Injected mid-publish crash: the manifest is staged but no
+            // payload is, and the staging directory is left behind —
+            // exactly what a process death between the writes produces.
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Other,
+                "injected fault: torn publish",
+            ));
+        }
         for (name, bytes) in files {
             write(&tmp.join(name), bytes)?;
         }
-        match std::fs::rename(&tmp, &dest) {
-            Ok(()) => Ok(true),
+        let published = match std::fs::rename(&tmp, &dest) {
+            Ok(()) => true,
             Err(_) if dest.exists() => {
                 // Lost the publication race: keep the winner's entry.
                 let _ = std::fs::remove_dir_all(&tmp);
-                Ok(false)
+                false
             }
             Err(e) => {
                 let _ = std::fs::remove_dir_all(&tmp);
-                Err(e)
+                return Err(e);
             }
+        };
+        if published && fault == PublishFault::Corrupt {
+            // Injected bit rot: flip one deterministic payload byte
+            // post-publication. Discovered by the next probe's checksum
+            // pass, which quarantines and forces re-execution.
+            self.corrupt_entry(&dest, &manifest);
         }
+        Ok(published)
+    }
+
+    /// Apply an injected corruption to a freshly published entry: one
+    /// byte of the first payload (or of the manifest, for payload-less
+    /// entries) is XOR-flipped at a seed-deterministic offset.
+    fn corrupt_entry(&self, dir: &Path, manifest: &StoredManifest) {
+        let Some(f) = &self.faults else { return };
+        let target = match manifest.files.first() {
+            Some(entry) => dir.join(&entry.name),
+            None => dir.join("manifest.json"),
+        };
+        let Ok(mut bytes) = std::fs::read(&target) else {
+            return;
+        };
+        if bytes.is_empty() {
+            return;
+        }
+        let (offset, mask) = f.corrupt_pick(bytes.len() as u64);
+        bytes[offset as usize] ^= mask;
+        let _ = std::fs::write(&target, bytes);
     }
 
     /// Look a key up, verifying integrity. A verified entry comes back
     /// with its payload bytes copied out; a missing entry is `None`; a
     /// corrupted entry (bad manifest, wrong key, truncated or altered
-    /// payload, missing file) is **removed** and reported as `None`, so
-    /// the caller re-executes instead of serving bad bytes.
+    /// payload, missing file) is **quarantined** and reported as
+    /// `None`, so the caller re-executes instead of serving bad bytes.
     pub fn probe(&self, key: &JobKey) -> Option<StoredResult> {
         let dir = self.entry_dir(key);
         if !dir.is_dir() {
@@ -200,8 +396,9 @@ impl ResultStore {
         match self.read_verified(key, &dir) {
             Some(hit) => Some(hit),
             None => {
-                // Quarantine-by-deletion: a later submit re-executes.
-                let _ = std::fs::remove_dir_all(&dir);
+                // Quarantine: a later submit re-executes, and the bad
+                // bytes stay available for postmortem.
+                self.quarantine(&dir, key.as_str());
                 None
             }
         }
@@ -232,7 +429,7 @@ impl ResultStore {
     }
 
     /// Number of (directory-level) entries currently in the store.
-    /// Staging directories are excluded.
+    /// Staging and quarantine directories are excluded.
     pub fn len(&self) -> usize {
         self.keys().len()
     }
@@ -259,10 +456,75 @@ impl ResultStore {
         out.sort();
         out
     }
+
+    /// On-disk bytes of one entry (manifest + payloads), 0 if absent.
+    fn entry_bytes(&self, key: &JobKey) -> u64 {
+        let mut total = 0;
+        if let Ok(entries) = std::fs::read_dir(self.entry_dir(key)) {
+            for e in entries.flatten() {
+                if let Ok(meta) = e.metadata() {
+                    if meta.is_file() {
+                        total += meta.len();
+                    }
+                }
+            }
+        }
+        total
+    }
+
+    /// On-disk bytes across all entries (staging/quarantine excluded).
+    pub fn total_bytes(&self) -> u64 {
+        self.keys().iter().map(|k| self.entry_bytes(k)).sum()
+    }
+
+    /// Evict entries in ascending publication-`seq` order (LRU by
+    /// publication; key order breaks seq ties deterministically) until
+    /// the store fits `max_bytes` / `max_entries`. `None` bounds are
+    /// unlimited. Safe under concurrent readers — see [`Self::evict`].
+    pub fn gc(&self, max_bytes: Option<u64>, max_entries: Option<usize>) -> GcReport {
+        // (seq, key, bytes) per entry; an unreadable manifest sorts
+        // first (seq 0) — it would be quarantined on probe anyway.
+        let mut entries: Vec<(u64, JobKey, u64)> = self
+            .keys()
+            .into_iter()
+            .map(|key| {
+                let seq = std::fs::read_to_string(self.entry_dir(&key).join("manifest.json"))
+                    .ok()
+                    .and_then(|text| serde_json::from_str::<StoredManifest>(&text).ok())
+                    .map_or(0, |m| m.seq);
+                let bytes = self.entry_bytes(&key);
+                (seq, key, bytes)
+            })
+            .collect();
+        entries.sort();
+        let bytes_before: u64 = entries.iter().map(|(_, _, b)| b).sum();
+        let entries_before = entries.len();
+        let mut report = GcReport {
+            evicted: Vec::new(),
+            bytes_before,
+            bytes_after: bytes_before,
+            entries_before,
+        };
+        let mut count = entries_before;
+        for (_, key, bytes) in entries {
+            let over_bytes = max_bytes.is_some_and(|max| report.bytes_after > max);
+            let over_count = max_entries.is_some_and(|max| count > max);
+            if !over_bytes && !over_count {
+                break;
+            }
+            if self.evict(&key) {
+                self.evicted.fetch_add(1, Ordering::SeqCst);
+                report.bytes_after = report.bytes_after.saturating_sub(bytes);
+                count -= 1;
+                report.evicted.push(key);
+            }
+        }
+        report
+    }
 }
 
 /// A manifest with empty telemetry, ready for [`ResultStore::publish`]
-/// to fill the integrity table.
+/// to fill the integrity table and publication sequence.
 pub fn manifest_for(
     key: &JobKey,
     canonical: String,
@@ -272,6 +534,7 @@ pub fn manifest_for(
     StoredManifest {
         key: key.as_str().to_string(),
         canonical,
+        seq: 0,
         job,
         fingerprints,
         files: Vec::new(),
@@ -286,14 +549,19 @@ pub fn manifest_for(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultInjector, FaultPlan};
 
-    fn tmp_store(tag: &str) -> ResultStore {
+    fn tmp_root(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
             "cxlg-store-test-{tag}-{}",
             std::process::id()
         ));
         let _ = std::fs::remove_dir_all(&dir);
-        ResultStore::new(dir).unwrap()
+        dir
+    }
+
+    fn tmp_store(tag: &str) -> ResultStore {
+        ResultStore::new(tmp_root(tag)).unwrap()
     }
 
     fn job() -> Job {
@@ -301,6 +569,15 @@ mod tests {
             experiment: "fig3".to_string(),
             scale: 8,
             seed: 1,
+            threads: 1,
+        }
+    }
+
+    fn job_n(seed: u64) -> Job {
+        Job {
+            experiment: "fig3".to_string(),
+            scale: 8,
+            seed,
             threads: 1,
         }
     }
@@ -317,6 +594,15 @@ mod tests {
         k
     }
 
+    fn publish_n(store: &ResultStore, seed: u64) -> JobKey {
+        let j = job_n(seed);
+        let k = JobKey::derive(&j, &[("urand8".to_string(), 7)]);
+        let m = manifest_for(&k, format!("canon-{seed}"), j, Vec::new());
+        let files = vec![("fig3.json".to_string(), format!("{{\"x\":{seed}}}").into_bytes())];
+        assert!(store.publish(m, &files).unwrap());
+        k
+    }
+
     #[test]
     fn publish_then_probe_round_trips_bytes() {
         let store = tmp_store("roundtrip");
@@ -325,6 +611,7 @@ mod tests {
         assert_eq!(hit.manifest.key, k.as_str());
         assert_eq!(hit.files, vec![("fig3.json".to_string(), b"{\"x\":1}".to_vec())]);
         assert_eq!(hit.manifest.files[0].bytes, 7);
+        assert_eq!(hit.manifest.seq, 1, "first publication takes seq 1");
         assert_eq!(store.keys(), vec![k]);
     }
 
@@ -346,13 +633,16 @@ mod tests {
     }
 
     #[test]
-    fn corrupted_payload_is_detected_and_dropped() {
+    fn corrupted_payload_is_detected_and_quarantined() {
         let store = tmp_store("corrupt");
         let k = publish_one(&store);
         let payload = store.root().join(k.as_str()).join("fig3.json");
         std::fs::write(&payload, b"{\"x\":9}").unwrap(); // same length, wrong bytes
         assert!(store.probe(&k).is_none(), "altered payload must miss");
         assert!(!store.root().join(k.as_str()).exists(), "corrupt entry must be removed");
+        assert_eq!(store.counters().quarantined, 1);
+        let qdir = store.root().join(".quarantine").join(format!("{}.1", k.as_str()));
+        assert!(qdir.is_dir(), "corrupt entry must move to quarantine");
         // Re-publication after quarantine works.
         publish_one(&store);
         assert!(store.probe(&k).is_some());
@@ -414,5 +704,143 @@ mod tests {
     fn probe_of_unknown_key_is_a_plain_miss() {
         let store = tmp_store("unknown");
         assert!(store.probe(&key()).is_none());
+    }
+
+    #[test]
+    fn stale_staging_dirs_are_reaped_on_open() {
+        let root = tmp_root("reap");
+        std::fs::create_dir_all(&root).unwrap();
+        // Plant litter from this process (a simulated earlier crash)
+        // and from a pid that cannot be alive.
+        let mine = root.join(format!(".tmp-{}-{}", key().as_str(), std::process::id()));
+        std::fs::create_dir_all(&mine).unwrap();
+        std::fs::write(mine.join("manifest.json"), b"{partial").unwrap();
+        let dead = root.join(format!(".tmp-{}-4294967294", key().as_str()));
+        std::fs::create_dir_all(&dead).unwrap();
+        let malformed = root.join(".tmp-garbage");
+        std::fs::create_dir_all(&malformed).unwrap();
+
+        let store = ResultStore::new(&root).unwrap();
+        assert!(!mine.exists(), "own-pid staging litter must be reaped");
+        assert!(!dead.exists(), "dead-pid staging litter must be reaped");
+        assert!(!malformed.exists(), "malformed staging names must be reaped");
+        assert_eq!(store.counters().staging_reaped, 3);
+        assert!(store.is_empty(), "staging litter must not surface as entries");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_foreign_staging_dirs_survive_open() {
+        let root = tmp_root("reap-live");
+        std::fs::create_dir_all(&root).unwrap();
+        // pid 1 is always alive on Linux.
+        let live = root.join(format!(".tmp-{}-1", key().as_str()));
+        std::fs::create_dir_all(&live).unwrap();
+        let store = ResultStore::new(&root).unwrap();
+        assert!(live.exists(), "a live publisher's staging dir must survive");
+        assert_eq!(store.counters().staging_reaped, 0);
+    }
+
+    #[test]
+    fn bad_manifests_are_quarantined_on_open() {
+        let root = tmp_root("openq");
+        {
+            let store = ResultStore::new(&root).unwrap();
+            publish_one(&store);
+        }
+        // Mangle the manifest between store lifetimes.
+        let k = key();
+        std::fs::write(root.join(k.as_str()).join("manifest.json"), b"junk").unwrap();
+        let store = ResultStore::new(&root).unwrap();
+        assert_eq!(store.counters().quarantined, 1);
+        assert!(store.is_empty());
+        assert!(store.probe(&k).is_none());
+    }
+
+    #[test]
+    fn sequence_numbers_resume_across_lifetimes() {
+        let root = tmp_root("seq");
+        {
+            let store = ResultStore::new(&root).unwrap();
+            publish_n(&store, 1);
+            publish_n(&store, 2);
+        }
+        let store = ResultStore::new(&root).unwrap();
+        let k3 = publish_n(&store, 3);
+        assert_eq!(
+            store.probe(&k3).unwrap().manifest.seq,
+            3,
+            "seq must resume past the highest stored value"
+        );
+    }
+
+    #[test]
+    fn gc_evicts_in_publication_order_until_bounds_fit() {
+        let store = tmp_store("gc");
+        let k1 = publish_n(&store, 1);
+        let k2 = publish_n(&store, 2);
+        let k3 = publish_n(&store, 3);
+        // Hold a reader on the oldest entry across its eviction.
+        let held = store.probe(&k1).unwrap();
+
+        // Count bound: keep 2 entries → the oldest publication goes.
+        let report = store.gc(None, Some(2));
+        assert_eq!(report.evicted, vec![k1.clone()]);
+        assert_eq!(report.entries_before, 3);
+        assert!(store.probe(&k1).is_none());
+        assert!(store.probe(&k2).is_some());
+        assert!(store.probe(&k3).is_some());
+        assert_eq!(held.files[0].1, b"{\"x\":1}".to_vec(), "reader copy survives");
+
+        // Byte bound: shrink to one entry's size → k2 (now oldest) goes.
+        let one = store.total_bytes() / 2;
+        let report = store.gc(Some(one), None);
+        assert_eq!(report.evicted, vec![k2]);
+        assert!(report.bytes_after <= one);
+        assert_eq!(store.keys(), vec![k3]);
+        assert_eq!(store.counters().evicted, 2);
+
+        // Within bounds: a no-op.
+        let report = store.gc(Some(u64::MAX), Some(10));
+        assert!(report.evicted.is_empty());
+    }
+
+    #[test]
+    fn injected_torn_publish_leaves_reapable_litter() {
+        let root = tmp_root("torn");
+        let faults = Arc::new(FaultInjector::new(7, FaultPlan::parse("torn@1").unwrap()));
+        let store = ResultStore::new(&root).unwrap().with_faults(Arc::clone(&faults));
+        let k = key();
+        let m = manifest_for(&k, "canon".into(), job(), Vec::new());
+        let files = vec![("fig3.json".to_string(), b"{\"x\":1}".to_vec())];
+        let err = store.publish(m, &files).unwrap_err();
+        assert!(err.to_string().contains("torn"), "torn fault must surface: {err}");
+        assert!(store.probe(&k).is_none(), "no entry may land");
+        let tmp = root.join(format!(".tmp-{}-{}", k.as_str(), std::process::id()));
+        assert!(tmp.is_dir(), "torn publish must leave staging litter");
+
+        // A retry through the same store (fault spent) self-heals: the
+        // publish path clears its own stale staging dir first.
+        let m = manifest_for(&k, "canon".into(), job(), Vec::new());
+        assert!(store.publish(m, &files).unwrap());
+        assert!(store.probe(&k).is_some());
+        assert!(!tmp.exists());
+    }
+
+    #[test]
+    fn injected_corruption_is_caught_by_the_next_probe() {
+        let root = tmp_root("inj-corrupt");
+        let faults = Arc::new(FaultInjector::new(7, FaultPlan::parse("corrupt@1").unwrap()));
+        let store = ResultStore::new(&root).unwrap().with_faults(faults);
+        let k = key();
+        let m = manifest_for(&k, "canon".into(), job(), Vec::new());
+        let files = vec![("fig3.json".to_string(), b"{\"x\":1}".to_vec())];
+        assert!(store.publish(m, &files).unwrap(), "corrupt publish still lands");
+        assert!(store.probe(&k).is_none(), "flipped byte must fail verification");
+        assert_eq!(store.counters().quarantined, 1);
+        // Re-publish (fault spent) heals.
+        let m = manifest_for(&k, "canon".into(), job(), Vec::new());
+        assert!(store.publish(m, &files).unwrap());
+        assert_eq!(store.probe(&k).unwrap().files[0].1, b"{\"x\":1}".to_vec());
     }
 }
