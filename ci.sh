@@ -37,11 +37,31 @@ echo "==> streaming CSR builder stays within the peak-RSS budget (scale 18, <= 1
 # per-vertex offset/cursor arrays; 10 B/arc leaves slack for the process
 # baseline while still failing loudly if arc materialization ever
 # creeps back in (the sort-based path measured ~19-24 B/arc).
-cargo run --release -p cxlg-bench --bin cxlg -- graph-mem urand 18 --max-bytes-per-arc=10
-cargo run --release -p cxlg-bench --bin cxlg -- graph-mem kron 18 --max-bytes-per-arc=12
+GM="cargo run --release -p cxlg-bench --bin cxlg -- graph-mem"
+U18_MEM=$($GM urand 18 --max-bytes-per-arc=10);  echo "    $U18_MEM"
+K18_MEM=$($GM kron 18 --max-bytes-per-arc=12);   echo "    $K18_MEM"
+U20_MEM=$($GM urand 20 --max-bytes-per-arc=10);  echo "    $U20_MEM"
 
 echo "==> a scale-22 urand graph (134M arcs) builds to completion"
-cargo run --release -p cxlg-bench --bin cxlg -- graph-mem urand 22 --max-bytes-per-arc=10
+U22_MEM=$($GM urand 22 --max-bytes-per-arc=10);  echo "    $U22_MEM"
+
+echo "==> out-of-core spill backend: tighter peak-RSS budgets up the scale ladder"
+# Spill mode keeps only the offsets and a bounded page cache resident
+# and streams the build through fixed-size segments, so its peak RSS
+# must land *under* the resident mem CSR (4.25 B/arc of offsets +
+# targets alone) at scale 18 and keep falling as scale grows — the
+# demonstration that the builder, not the graph, bounds memory.
+U18_SPILL=$($GM urand 18 --storage=spill --max-bytes-per-arc=4);  echo "    $U18_SPILL"
+K18_SPILL=$($GM kron 18 --storage=spill --max-bytes-per-arc=4);   echo "    $K18_SPILL"
+U20_SPILL=$($GM urand 20 --storage=spill --max-bytes-per-arc=2);  echo "    $U20_SPILL"
+U22_SPILL=$($GM urand 22 --storage=spill --max-bytes-per-arc=1.5); echo "    $U22_SPILL"
+
+echo "==> spill fingerprints are byte-identical to mem at every ladder rung"
+fp() { grep -o 'fingerprint=0x[0-9a-f]*' <<<"$1"; }
+[ "$(fp "$U18_MEM")" = "$(fp "$U18_SPILL")" ] || { echo "urand18 fingerprint diverges across backends"; exit 1; }
+[ "$(fp "$K18_MEM")" = "$(fp "$K18_SPILL")" ] || { echo "kron18 fingerprint diverges across backends"; exit 1; }
+[ "$(fp "$U20_MEM")" = "$(fp "$U20_SPILL")" ] || { echo "urand20 fingerprint diverges across backends"; exit 1; }
+[ "$(fp "$U22_MEM")" = "$(fp "$U22_SPILL")" ] || { echo "urand22 fingerprint diverges across backends"; exit 1; }
 
 echo "==> cxlg lists the full experiment registry"
 LISTED=$(cargo run --release -p cxlg-bench --bin cxlg -- list | grep -c '^[a-z]')
@@ -90,6 +110,40 @@ grep -Eq '"builds": 1$|"builds": 1,' target/ci-results-t1/manifest.json \
 if grep -E '"builds": ([2-9]|[0-9]{2,})' target/ci-results-t1/manifest.json; then
     echo "a dataset was built more than once per campaign"; exit 1
 fi
+
+echo "==> spill-storage campaign: byte-identical results, green validate, no litter"
+# The whole campaign with every graph demand-paged from spill files.
+# Result JSON must match the mem-mode campaigns byte for byte (threads
+# header exempt, as above) — storage is an execution strategy, not a
+# result input — and the evicted graphs must leave no spill files
+# behind.
+rm -rf target/ci-results-spill
+CXLG_SCALE=10 RAYON_NUM_THREADS=2 CXLG_RESULTS_DIR=target/ci-results-spill \
+    cargo run --release -p cxlg-bench --bin cxlg -- \
+    run --all --graph-storage=spill --json-manifest >/dev/null
+SPILLED=0
+for f in target/ci-results-spill/*.json; do
+    b="$(basename "$f")"
+    [ "$b" = manifest.json ] && continue
+    for T in 1 2; do
+        cmp <(sed '/"threads"/d' "$f") <(sed '/"threads"/d' "target/ci-results-t$T/$b") \
+            || { echo "$b differs between the spill and mem (t$T) campaigns"; exit 1; }
+    done
+    SPILLED=$((SPILLED + 1))
+done
+[ "$SPILLED" -ge 16 ] || { echo "only $SPILLED spill result files diffed; campaign incomplete"; exit 1; }
+echo "    $SPILLED spill result files byte-identical to both mem campaigns"
+grep -q '"graph_storage": "spill"' target/ci-results-spill/manifest.json \
+    || { echo "spill manifest does not record its storage mode"; exit 1; }
+[ -z "$(ls -A target/ci-results-spill/graph-spill 2>/dev/null)" ] \
+    || { echo "the spill campaign leaked spill files"; exit 1; }
+
+echo "==> cxlg validate stays green over the spill campaign, FIDELITY.md unchanged"
+cargo run --release -p cxlg-bench --bin cxlg -- validate \
+    --campaign-dir=target/ci-results-spill \
+    --write-report=target/ci-results-spill/FIDELITY.md >/dev/null
+cmp target/ci-results-spill/FIDELITY.md target/ci-results-t1/FIDELITY.md \
+    || { echo "FIDELITY.md differs between spill and mem campaigns"; exit 1; }
 
 echo "==> cached campaign: cxlg run --cached twice against one store"
 # The campaign service path: pass 1 populates the content-addressed

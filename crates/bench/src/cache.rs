@@ -14,7 +14,7 @@
 //! the "each dataset built exactly once" property of a full run.
 
 use cxlg_graph::spec::{GraphKind, GraphSpec};
-use cxlg_graph::Csr;
+use cxlg_graph::{CsrStorage, SpillConfig, StorageMode};
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -39,23 +39,63 @@ pub fn spec_label(spec: &GraphSpec) -> String {
 /// `entries`, but cache state must never be one refactor away from
 /// hash-order output (lint rule D1) — the build/eviction counts *are*
 /// iterated into the manifest and sort by label structurally.
-#[derive(Default)]
+///
+/// The cache owns the storage decision: every build goes to the
+/// backend fixed at construction ([`GraphCache::with_storage`]), so a
+/// campaign is either all-mem or all-spill and a cache hit can never
+/// return a different backend than the miss that populated it.
 pub struct GraphCache {
-    entries: Mutex<BTreeMap<GraphSpec, Arc<OnceLock<Arc<Csr>>>>>,
+    entries: Mutex<BTreeMap<GraphSpec, Arc<OnceLock<Arc<CsrStorage>>>>>,
     builds: Mutex<BTreeMap<String, u64>>,
     evictions: Mutex<BTreeMap<String, u64>>,
+    mode: StorageMode,
+    spill: SpillConfig,
+}
+
+impl Default for GraphCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl GraphCache {
-    /// An empty cache.
+    /// An empty cache building fully resident graphs (the historical
+    /// behavior).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_storage(
+            StorageMode::Mem,
+            // cxlg-lint: allow(D6) -- fallback spill directory only; a mem-mode cache never touches it, and spill callers pass their own via with_storage
+            SpillConfig::new(std::env::temp_dir().join("cxlg-graph-spill")),
+        )
+    }
+
+    /// An empty cache building into the given storage backend. `spill`
+    /// is only consulted in [`StorageMode::Spill`].
+    pub fn with_storage(mode: StorageMode, spill: SpillConfig) -> Self {
+        GraphCache {
+            entries: Mutex::new(BTreeMap::new()),
+            builds: Mutex::new(BTreeMap::new()),
+            evictions: Mutex::new(BTreeMap::new()),
+            mode,
+            spill,
+        }
+    }
+
+    /// The storage backend this cache builds into.
+    pub fn storage_mode(&self) -> StorageMode {
+        self.mode
+    }
+
+    /// The spill configuration builds use in [`StorageMode::Spill`]
+    /// (admission estimates need its resident-overhead budget).
+    pub fn spill_config(&self) -> &SpillConfig {
+        &self.spill
     }
 
     /// The graph for `spec`, building it on first use. The build happens
     /// at most once per spec; later callers (including concurrent ones)
     /// receive a clone of the same `Arc`.
-    pub fn get(&self, spec: GraphSpec) -> Arc<Csr> {
+    pub fn get(&self, spec: GraphSpec) -> Arc<CsrStorage> {
         let cell = {
             let mut entries = self.entries.lock().unwrap();
             entries.entry(spec).or_default().clone()
@@ -67,9 +107,24 @@ impl GraphCache {
                 .unwrap()
                 .entry(spec_label(&spec))
                 .or_insert(0) += 1;
-            Arc::new(spec.build())
+            Arc::new(spec.build_with(self.mode, &self.spill))
         })
         .clone()
+    }
+
+    /// `(resident, on-disk)` byte totals across the currently built
+    /// graphs — manifest telemetry for the storage backend.
+    pub fn storage_bytes(&self) -> (u64, u64) {
+        let entries = self.entries.lock().unwrap();
+        let mut resident = 0u64;
+        let mut on_disk = 0u64;
+        for cell in entries.values() {
+            if let Some(g) = cell.get() {
+                resident += g.resident_bytes();
+                on_disk += g.on_disk_bytes();
+            }
+        }
+        (resident, on_disk)
     }
 
     /// Per-spec build counts, sorted by dataset name — the manifest's
@@ -173,7 +228,29 @@ mod tests {
         // graph `spec.build()` produces without a cache.
         let spec = GraphSpec::friendster_like(8).seed(7);
         let cache = GraphCache::new();
-        assert_eq!(*cache.get(spec), spec.build());
+        assert_eq!(
+            *cache.get(spec).as_mem().expect("mem cache holds mem graphs"),
+            spec.build()
+        );
+    }
+
+    #[test]
+    fn spill_cache_builds_spill_graphs_with_identical_fingerprints() {
+        let spec = GraphSpec::urand(8).seed(7);
+        let dir = std::env::temp_dir().join(format!("cxlg-cache-spill-{}", std::process::id()));
+        let cache = GraphCache::with_storage(StorageMode::Spill, SpillConfig::new(dir));
+        let g = cache.get(spec);
+        assert_eq!(g.storage_mode(), StorageMode::Spill);
+        assert!(g.as_mem().is_none());
+        assert_eq!(g.fingerprint(), spec.build().fingerprint());
+        let (resident, on_disk) = cache.storage_bytes();
+        assert!(on_disk > 0, "spill graphs must report on-disk bytes");
+        assert!(resident > 0);
+        // Build accounting is storage-agnostic.
+        assert_eq!(
+            cache.build_counts(),
+            vec![("urand8(deg32)@0x7".to_string(), 1)]
+        );
     }
 
     #[test]
@@ -210,7 +287,7 @@ mod tests {
         // OnceLock must collapse them into a single build.
         let cache = GraphCache::new();
         let spec = GraphSpec::kron(9).seed(3);
-        let graphs: Vec<Arc<Csr>> = (0..8u32)
+        let graphs: Vec<Arc<CsrStorage>> = (0..8u32)
             .collect::<Vec<_>>()
             .par_iter()
             .map(|_| cache.get(spec))

@@ -58,8 +58,10 @@ USAGE:
                                                 quarantine corrupt entries,
                                                 and evict oldest publications
                                                 until the bounds fit
-    cxlg graph-mem <urand|kron|social> <scale>  build one dataset, report
+    cxlg graph-mem <urand|kron|social> <scale> [--storage=mem|spill]
+                                                build one dataset, report
                                                 wall-clock / peak RSS /
+                                                resident and on-disk
                                                 bytes-per-arc / fingerprint
     cxlg validate [--campaign-dir=DIR] [--write-report[=PATH]]
                                                 check a captured campaign
@@ -80,6 +82,14 @@ OPTIONS:
     --max-bytes-per-arc=N    (graph-mem) exit nonzero when peak RSS
                              exceeds N bytes per directed arc — the CI
                              build-memory budget
+    --graph-storage=MODE     (run) graph storage backend: `mem` keeps
+                             every CSR fully resident (default), `spill`
+                             demand-pages targets from a file under
+                             <results_dir>/graph-spill; overrides
+                             CXLG_GRAPH_STORAGE. Results are
+                             backend-invariant
+    --storage=MODE           (graph-mem) build the probe dataset into
+                             the given backend (`mem` | `spill`)
     --cached                 (run) route the campaign through the
                              service scheduler + content-addressed
                              store; repeat runs are cache hits
@@ -118,6 +128,7 @@ ENVIRONMENT:
     CXLG_SCALE        log2 vertex count (default 16)
     CXLG_SEED         generator seed (default 0x5EED)
     CXLG_RESULTS_DIR  result directory (default target/paper-results)
+    CXLG_GRAPH_STORAGE graph storage backend: mem (default) | spill
     RAYON_NUM_THREADS worker threads for parallel sweeps
 ";
 
@@ -144,6 +155,9 @@ pub struct RunArgs {
     pub max_attempts: u64,
     /// CAS byte budget: GC after every publication (`--cached`).
     pub cas_max_bytes: Option<u64>,
+    /// Graph storage backend override (`--graph-storage=`); `None`
+    /// falls back to `CXLG_GRAPH_STORAGE` / mem.
+    pub graph_storage: Option<cxlg_graph::StorageMode>,
 }
 
 /// Parse the arguments following `cxlg run`.
@@ -158,6 +172,7 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
         fault_seed: 0,
         max_attempts: 0,
         cas_max_bytes: None,
+        graph_storage: None,
     };
     for a in args {
         if a == "--all" {
@@ -190,6 +205,11 @@ pub fn parse_run_args(args: &[String]) -> Result<RunArgs, String> {
                     .ok()
                     .filter(|b| *b >= 1)
                     .ok_or_else(|| format!("--cas-max-bytes: bad size `{n}` (need >= 1)"))?,
+            );
+        } else if let Some(mode) = a.strip_prefix("--graph-storage=") {
+            out.graph_storage = Some(
+                cxlg_graph::StorageMode::parse(mode)
+                    .ok_or_else(|| format!("--graph-storage: unknown mode `{mode}` (mem | spill)"))?,
             );
         } else if a == "--json-manifest" {
             out.manifest = Some(None);
@@ -377,10 +397,19 @@ fn write_manifest(
             ])
         })
         .collect();
+    let (graph_resident, graph_on_disk) = ctx.graph_storage_bytes();
     let manifest = Value::Map(vec![
         ("scale".to_string(), Value::U64(ctx.scale as u64)),
         ("seed".to_string(), Value::U64(ctx.seed)),
         ("threads".to_string(), Value::U64(ctx.threads as u64)),
+        (
+            "graph_storage".to_string(),
+            Value::Str(ctx.graph_storage_mode().label().to_string()),
+        ),
+        // Telemetry over whatever graphs the eviction plan still holds
+        // at manifest time (often none — evidence, not an invariant).
+        ("graph_resident_bytes".to_string(), Value::U64(graph_resident)),
+        ("graph_on_disk_bytes".to_string(), Value::U64(graph_on_disk)),
         (
             "results_dir".to_string(),
             Value::Str(ctx.results_dir.display().to_string()),
@@ -428,6 +457,7 @@ pub fn run_cli(args: RunArgs) -> i32 {
             fault_seed: args.fault_seed,
             max_attempts: args.max_attempts,
             cas_max_bytes: args.cas_max_bytes,
+            graph_storage: args.graph_storage,
         };
         let outcome = crate::serve_cli::run_cached_campaign(
             crate::bench_scale(),
@@ -448,7 +478,9 @@ pub fn run_cli(args: RunArgs) -> i32 {
             }
         };
     }
-    let ctx = ExperimentCtx::from_env();
+    let ctx = ExperimentCtx::from_env_with_storage(
+        args.graph_storage.unwrap_or_else(crate::graph_storage),
+    );
     let manifest_path = args
         .manifest
         .map(|p| p.map_or_else(|| ctx.results_dir.join("manifest.json"), PathBuf::from));
@@ -469,6 +501,8 @@ pub struct GraphMemArgs {
     pub scale: u32,
     /// Fail when peak RSS exceeds this many bytes per directed arc.
     pub max_bytes_per_arc: Option<f64>,
+    /// Storage backend to build the probe dataset into.
+    pub storage: cxlg_graph::StorageMode,
 }
 
 /// Parse the arguments following `cxlg graph-mem`.
@@ -476,8 +510,12 @@ pub fn parse_graph_mem_args(args: &[String]) -> Result<GraphMemArgs, String> {
     let mut family = None;
     let mut scale = None;
     let mut max_bytes_per_arc = None;
+    let mut storage = cxlg_graph::StorageMode::Mem;
     for a in args {
-        if let Some(v) = a.strip_prefix("--max-bytes-per-arc=") {
+        if let Some(v) = a.strip_prefix("--storage=") {
+            storage = cxlg_graph::StorageMode::parse(v)
+                .ok_or_else(|| format!("--storage: unknown mode `{v}` (mem | spill)"))?;
+        } else if let Some(v) = a.strip_prefix("--max-bytes-per-arc=") {
             let n: f64 = v
                 .parse()
                 .map_err(|_| format!("--max-bytes-per-arc: bad number `{v}`"))?;
@@ -514,6 +552,7 @@ pub fn parse_graph_mem_args(args: &[String]) -> Result<GraphMemArgs, String> {
         family,
         scale,
         max_bytes_per_arc,
+        storage,
     })
 }
 
@@ -533,18 +572,22 @@ pub fn graph_mem(args: GraphMemArgs) -> i32 {
         _ => cxlg_graph::GraphSpec::friendster_like(args.scale),
     }
     .seed(seed);
+    let spill_dir = std::env::temp_dir().join(format!(
+        "cxlg-graph-mem-spill-{}",
+        std::process::id()
+    ));
+    let spill_cfg = cxlg_graph::SpillConfig::new(&spill_dir);
     let baseline_kb = cxlg_core::mem::peak_rss_kb();
-    let (g, wall) = timed(|| spec.build());
+    let (g, wall) = timed(|| spec.build_with(args.storage, &spill_cfg));
     let peak_kb = cxlg_core::mem::peak_rss_kb();
     let arcs = g.num_edges();
-    let bytes_per_arc = if arcs == 0 {
-        0.0
-    } else {
-        (peak_kb * 1024) as f64 / arcs as f64
-    };
+    let per_arc = |bytes: f64| if arcs == 0 { 0.0 } else { bytes / arcs as f64 };
+    let bytes_per_arc = per_arc((peak_kb * 1024) as f64);
     println!(
         "graph-mem {}: vertices={} arcs={} wall_ms={:.0} peak_rss_kb={} \
-         baseline_rss_kb={} bytes_per_arc={:.2} fingerprint={:#018x}",
+         baseline_rss_kb={} bytes_per_arc={:.2} storage={} \
+         resident_bytes_per_arc={:.2} on_disk_bytes_per_arc={:.2} \
+         fingerprint={:#018x}",
         spec.name(),
         g.num_vertices(),
         arcs,
@@ -552,8 +595,15 @@ pub fn graph_mem(args: GraphMemArgs) -> i32 {
         peak_kb,
         baseline_kb,
         bytes_per_arc,
+        g.storage_mode().label(),
+        per_arc(g.resident_bytes() as f64),
+        per_arc(g.on_disk_bytes() as f64),
         g.fingerprint(),
     );
+    // A built spill file is deleted when `g` drops; sweep the (now
+    // empty) per-process spill directory with it.
+    drop(g);
+    let _ = std::fs::remove_dir(&spill_dir);
     if let Some(budget) = args.max_bytes_per_arc {
         if peak_kb == 0 {
             eprintln!("graph-mem: no peak-RSS source on this platform; budget not enforced");
@@ -1019,7 +1069,10 @@ pub fn run_serve(args: ServeArgs) -> i32 {
     let cas_root = args
         .cas_root
         .map_or_else(|| results_dir.join("cas"), PathBuf::from);
-    let cache = std::sync::Arc::new(crate::cache::GraphCache::new());
+    let cache = std::sync::Arc::new(crate::cache::GraphCache::with_storage(
+        crate::graph_storage(),
+        cxlg_graph::SpillConfig::new(results_dir.join("graph-spill")),
+    ));
     let backend = match crate::serve_cli::RegistryBackend::new(&cas_root, cache) {
         Ok(b) => std::sync::Arc::new(b),
         Err(e) => {
@@ -1199,6 +1252,7 @@ pub fn run_all() {
         fault_seed: 0,
         max_attempts: 0,
         cas_max_bytes: None,
+        graph_storage: None,
     });
     std::process::exit(code);
 }
@@ -1227,6 +1281,19 @@ mod tests {
     }
 
     #[test]
+    fn parse_graph_storage_forms() {
+        let ra = parse_run_args(&s(&["fig3"])).unwrap();
+        assert_eq!(ra.graph_storage, None, "default defers to the environment");
+        let ra = parse_run_args(&s(&["--graph-storage=spill", "fig3"])).unwrap();
+        assert_eq!(ra.graph_storage, Some(cxlg_graph::StorageMode::Spill));
+        let ra = parse_run_args(&s(&["--graph-storage=mem", "--cached", "fig3"])).unwrap();
+        assert_eq!(ra.graph_storage, Some(cxlg_graph::StorageMode::Mem));
+        assert!(ra.cached, "storage composes with --cached");
+        assert!(parse_run_args(&s(&["--graph-storage=frob", "fig3"])).is_err());
+        assert!(parse_run_args(&s(&["--graph-storage=", "fig3"])).is_err());
+    }
+
+    #[test]
     fn parse_rejects_bad_combinations() {
         assert!(parse_run_args(&s(&[])).is_err());
         assert!(parse_run_args(&s(&["--all", "fig3"])).is_err());
@@ -1242,11 +1309,16 @@ mod tests {
             GraphMemArgs {
                 family: "urand".to_string(),
                 scale: 18,
-                max_bytes_per_arc: None
+                max_bytes_per_arc: None,
+                storage: cxlg_graph::StorageMode::Mem,
             }
         );
         let ga = parse_graph_mem_args(&s(&["kron", "16", "--max-bytes-per-arc=10"])).unwrap();
         assert_eq!(ga.max_bytes_per_arc, Some(10.0));
+        let ga = parse_graph_mem_args(&s(&["urand", "18", "--storage=spill"])).unwrap();
+        assert_eq!(ga.storage, cxlg_graph::StorageMode::Spill);
+        let ga = parse_graph_mem_args(&s(&["urand", "18", "--storage=mem"])).unwrap();
+        assert_eq!(ga.storage, cxlg_graph::StorageMode::Mem);
     }
 
     #[test]
@@ -1262,6 +1334,8 @@ mod tests {
         assert!(parse_graph_mem_args(&s(&["urand", "18", "--max-bytes-per-arc=inf"])).is_err());
         assert!(parse_graph_mem_args(&s(&["urand", "18", "--max-bytes-per-arc=nan"])).is_err());
         assert!(parse_graph_mem_args(&s(&["urand", "18", "--frob"])).is_err());
+        assert!(parse_graph_mem_args(&s(&["urand", "18", "--storage=frob"])).is_err());
+        assert!(parse_graph_mem_args(&s(&["urand", "18", "--storage="])).is_err());
     }
 
     #[test]

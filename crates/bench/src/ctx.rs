@@ -10,7 +10,7 @@
 
 use crate::cache::GraphCache;
 use cxlg_graph::spec::GraphSpec;
-use cxlg_graph::Csr;
+use cxlg_graph::{CsrStorage, SpillConfig, StorageMode};
 use serde::{Serialize, Value};
 use std::collections::BTreeMap;
 use std::io::Write as _;
@@ -40,14 +40,31 @@ pub struct ExperimentCtx {
 impl ExperimentCtx {
     /// Context from the environment: `CXLG_SCALE` (default 16),
     /// `CXLG_SEED` (default `0x5EED`), `CXLG_RESULTS_DIR` (default
-    /// `target/paper-results`), and the rayon pool size.
+    /// `target/paper-results`), `CXLG_GRAPH_STORAGE` (default `mem`),
+    /// and the rayon pool size. In spill mode the graph spill files live
+    /// under `<results_dir>/graph-spill/` (not `.json`, so the result
+    /// byte-diff gates never see them) and are deleted as graphs are
+    /// evicted or the process exits.
     pub fn from_env() -> Self {
-        Self::new(
+        Self::from_env_with_storage(crate::graph_storage())
+    }
+
+    /// [`from_env`](Self::from_env) with an explicit storage backend —
+    /// the `cxlg run --graph-storage=` override, which must beat the
+    /// environment without mutating it.
+    pub fn from_env_with_storage(mode: StorageMode) -> Self {
+        let results_dir = crate::results_dir();
+        let cache = Arc::new(GraphCache::with_storage(
+            mode,
+            SpillConfig::new(results_dir.join("graph-spill")),
+        ));
+        Self::with_cache(
             crate::bench_scale(),
             crate::bench_seed(),
             // cxlg-lint: allow(D6) -- pool size is read once into ctx.threads and recorded in every result header; results are thread-count invariant by the ci.sh byte-diff gate
             rayon::current_num_threads(),
-            crate::results_dir(),
+            results_dir,
+            cache,
         )
     }
 
@@ -104,9 +121,21 @@ impl ExperimentCtx {
     }
 
     /// The graph for `spec`, via the shared cache (built at most once
-    /// per spec per context).
-    pub fn graph(&self, spec: GraphSpec) -> Arc<Csr> {
+    /// per spec per context), in whatever storage backend the cache was
+    /// configured with.
+    pub fn graph(&self, spec: GraphSpec) -> Arc<CsrStorage> {
         self.cache.get(spec)
+    }
+
+    /// The storage backend this context's graphs are built into.
+    pub fn graph_storage_mode(&self) -> StorageMode {
+        self.cache.storage_mode()
+    }
+
+    /// `(resident, on-disk)` byte totals over the currently built graphs
+    /// (manifest telemetry).
+    pub fn graph_storage_bytes(&self) -> (u64, u64) {
+        self.cache.storage_bytes()
     }
 
     /// Per-spec build counts so far (manifest evidence).

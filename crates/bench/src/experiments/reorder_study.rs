@@ -37,7 +37,7 @@ pub fn run(ctx: &ExperimentCtx) {
     for spec in [ctx.paper_datasets()[0], ctx.paper_datasets()[1]] {
         let base = ctx.graph(spec);
         let variants: Vec<(&'static str, cxlg_graph::Csr)> = vec![
-            ("native", (*base).clone()),
+            ("native", base.to_mem()),
             ("degree-sorted", reorder::by_degree(&base)),
             ("bfs-order", reorder::by_bfs(&base, good_source(&base))),
             ("random", reorder::random(&base, ctx.seed)),

@@ -22,7 +22,7 @@
 use crate::cache::{spec_label, GraphCache};
 use crate::ctx::ExperimentCtx;
 use crate::experiment::Experiment;
-use cxlg_graph::{GraphKind, GraphSpec};
+use cxlg_graph::{GraphKind, GraphSpec, SpillConfig, StorageMode};
 use cxlg_serve::fault::{FaultInjector, FaultPlan};
 use cxlg_serve::job::{Job, Priority};
 use cxlg_serve::scheduler::{JobBackend, JobOutput, JobStatus, Scheduler, SchedulerConfig};
@@ -102,6 +102,25 @@ pub fn spec_admission_bytes(spec: &GraphSpec) -> u64 {
     arcs.saturating_mul(8).saturating_add(vertices.saturating_mul(8))
 }
 
+/// [`spec_admission_bytes`] generalized over the storage backend. A
+/// spill-mode graph keeps only the offsets resident (8 B/vertex) plus
+/// the backend's fixed overhead — the page cache and the builder's
+/// per-segment working set — so its estimate is independent of the arc
+/// count and far below the mem-mode figure for any non-trivial graph.
+/// That is the point: a memory budget that would defer a mem-mode job
+/// admits the same job in spill mode.
+pub fn spec_admission_bytes_for(spec: &GraphSpec, mode: StorageMode, spill: &SpillConfig) -> u64 {
+    match mode {
+        StorageMode::Mem => spec_admission_bytes(spec),
+        StorageMode::Spill => {
+            let vertices = 1u64 << spec.scale.min(63);
+            vertices
+                .saturating_mul(8)
+                .saturating_add(spill.resident_overhead_bytes())
+        }
+    }
+}
+
 impl JobBackend for RegistryBackend {
     /// `(spec label, Csr::fingerprint)` per distinct spec the job's
     /// experiment declares. Fingerprints are memoized by spec label —
@@ -168,13 +187,15 @@ impl JobBackend for RegistryBackend {
     /// fingerprint time anyway, before admission matters.
     fn admission_bytes(&self, job: &Job) -> u64 {
         let Ok(specs) = self.specs_for(job) else { return 0 };
+        let mode = self.cache.storage_mode();
+        let spill = self.cache.spill_config();
         let mut seen: Vec<GraphSpec> = Vec::new();
         let mut total = 0u64;
         for spec in specs {
             if seen.contains(&spec) {
                 continue;
             }
-            total = total.saturating_add(spec_admission_bytes(&spec));
+            total = total.saturating_add(spec_admission_bytes_for(&spec, mode, spill));
             seen.push(spec);
         }
         total
@@ -275,6 +296,10 @@ pub struct CachedOptions {
     /// Store byte budget: GC after every publication keeps the CAS at
     /// or below this. `None` disables.
     pub cas_max_bytes: Option<u64>,
+    /// Graph storage backend override; `None` falls back to
+    /// `CXLG_GRAPH_STORAGE` / mem. Result bytes are backend-invariant,
+    /// so a warm store primed in one mode stays valid in the other.
+    pub graph_storage: Option<StorageMode>,
 }
 
 /// How many extra submit rounds `run_cached_campaign` grants a job
@@ -309,7 +334,11 @@ pub fn run_cached_campaign(
     opts: &CachedOptions,
 ) -> Result<CachedOutcome, String> {
     std::fs::create_dir_all(results_dir).map_err(|e| format!("create results dir: {e}"))?;
-    let cache = Arc::new(GraphCache::new());
+    let storage = opts.graph_storage.unwrap_or_else(crate::graph_storage);
+    let cache = Arc::new(GraphCache::with_storage(
+        storage,
+        SpillConfig::new(results_dir.join("graph-spill")),
+    ));
     let backend = Arc::new(
         RegistryBackend::new(cas_root, Arc::clone(&cache))
             .map_err(|e| format!("open CAS root: {e}"))?,
@@ -465,7 +494,7 @@ pub fn run_cached_campaign(
         eprintln!("\nFAILED: {:?}", outcome.failed);
     }
     if let Some(path) = manifest_path {
-        write_cached_manifest(scale, seed, threads, results_dir, cas_root, &outcome, path)
+        write_cached_manifest(scale, seed, threads, storage, results_dir, cas_root, &outcome, path)
             .map_err(|e| format!("write manifest: {e}"))?;
     }
     Ok(outcome)
@@ -474,10 +503,12 @@ pub fn run_cached_campaign(
 /// The cached-campaign manifest: run configuration plus, per
 /// experiment, the job key and hit/miss evidence — `wall_ms` is the one
 /// exempt telemetry field, as in the plain campaign manifest.
+#[allow(clippy::too_many_arguments)]
 fn write_cached_manifest(
     scale: u32,
     seed: u64,
     threads: usize,
+    storage: StorageMode,
     results_dir: &Path,
     cas_root: &Path,
     outcome: &CachedOutcome,
@@ -521,6 +552,10 @@ fn write_cached_manifest(
         ("scale".to_string(), Value::U64(scale as u64)),
         ("seed".to_string(), Value::U64(seed)),
         ("threads".to_string(), Value::U64(threads as u64)),
+        (
+            "graph_storage".to_string(),
+            Value::Str(storage.label().to_string()),
+        ),
         (
             "results_dir".to_string(),
             Value::Str(results_dir.display().to_string()),
@@ -632,6 +667,55 @@ mod tests {
             ..job
         };
         assert_eq!(backend.admission_bytes(&unknown), 0);
+    }
+
+    #[test]
+    fn spill_admission_estimates_shrink_and_admit_under_mem_budgets() {
+        // urand18: mem estimates arcs·8 + vertices·8 ≈ 69 MB; spill
+        // estimates vertices·8 + the fixed backend overhead ≈ 28 MB.
+        let spec = GraphSpec::urand(18);
+        let spill_cfg = SpillConfig::new(std::env::temp_dir().join("unused"));
+        let mem = spec_admission_bytes_for(&spec, StorageMode::Mem, &spill_cfg);
+        let spill = spec_admission_bytes_for(&spec, StorageMode::Spill, &spill_cfg);
+        assert_eq!(mem, spec_admission_bytes(&spec), "mem formula is unchanged");
+        assert_eq!(
+            spill,
+            (1u64 << 18) * 8 + spill_cfg.resident_overhead_bytes(),
+            "spill keeps offsets resident plus fixed overhead"
+        );
+        assert!(
+            spill < mem / 2,
+            "spill estimate must shrink well below mem ({spill} vs {mem})"
+        );
+        // A budget between the two estimates defers the mem-mode job
+        // but admits the same job in spill mode (the scheduler's
+        // admission gate is `estimate <= budget`).
+        let budget = (spill + mem) / 2;
+        assert!(spill <= budget && mem > budget);
+
+        // The backend reports the shrunken estimate when its shared
+        // cache is configured for spill.
+        let dir = std::env::temp_dir().join(format!("cxlg-admission-sp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let job = Job {
+            experiment: "fig3".to_string(),
+            scale: 18,
+            seed: 1,
+            threads: 1,
+        };
+        let mem_backend = RegistryBackend::new(&dir, Arc::new(GraphCache::new())).unwrap();
+        let spill_backend = RegistryBackend::new(
+            &dir,
+            Arc::new(GraphCache::with_storage(
+                StorageMode::Spill,
+                SpillConfig::new(dir.join("graph-spill")),
+            )),
+        )
+        .unwrap();
+        let mem_est = mem_backend.admission_bytes(&job);
+        let spill_est = spill_backend.admission_bytes(&job);
+        assert!(spill_est > 0 && spill_est < mem_est);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

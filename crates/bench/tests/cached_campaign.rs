@@ -160,6 +160,7 @@ fn a_chaos_campaign_self_heals_to_fault_free_bytes() {
         fault_seed: 42,
         max_attempts: 4,
         cas_max_bytes: None,
+        graph_storage: None,
     };
     let chaos_dir = base.join("chaos");
     let o1 = rayon::with_num_threads(1, || {

@@ -15,7 +15,7 @@
 
 use cxlg_gpu::swcache::{SoftwareCache, SoftwareCacheConfig};
 use cxlg_graph::layout::{span_block_range, EdgeListLayout};
-use cxlg_graph::{Csr, VertexId};
+use cxlg_graph::{CsrView, VertexId};
 use serde::{Deserialize, Serialize};
 
 /// One RAF measurement.
@@ -35,8 +35,8 @@ pub struct RafPoint {
 
 /// RAF of replaying `trace` (per-level vertex frontiers) at alignment
 /// `alignment` with a cache of `capacity_bytes`.
-pub fn raf_for_trace(
-    g: &Csr,
+pub fn raf_for_trace<G: CsrView + ?Sized>(
+    g: &G,
     trace: &[Vec<VertexId>],
     alignment: u64,
     capacity_bytes: u64,
@@ -70,14 +70,14 @@ pub fn raf_for_trace(
 /// The floor is deliberately tiny — capacity must not grow with the
 /// alignment under sweep, or the Figure 3 monotonicity would be an
 /// artifact of changing cache sizes.
-pub fn default_capacity(g: &Csr, alignment: u64) -> u64 {
+pub fn default_capacity<G: CsrView + ?Sized>(g: &G, alignment: u64) -> u64 {
     (g.num_edges() * 8 / 4).max(alignment * 16)
 }
 
 /// RAF sweep over alignment sizes for one trace, as plotted in Figure 3
 /// (8 B – 4 kB on a log2 axis).
-pub fn raf_sweep(
-    g: &Csr,
+pub fn raf_sweep<G: CsrView + ?Sized>(
+    g: &G,
     trace: &[Vec<VertexId>],
     alignments: &[u64],
     capacity_bytes: Option<u64>,

@@ -9,13 +9,13 @@
 use crate::metrics::RunReport;
 use crate::system::SystemConfig;
 use crate::traversal::Traversal;
-use cxlg_graph::Csr;
+use cxlg_graph::CsrView;
 use rayon::prelude::*;
 
 /// Run one traversal over many system configurations in parallel,
-/// preserving input order.
-pub fn sweep_systems(
-    graph: &Csr,
+/// preserving input order. Accepts any graph storage backend.
+pub fn sweep_systems<G: CsrView + ?Sized>(
+    graph: &G,
     traversal: Traversal,
     systems: &[SystemConfig],
 ) -> Vec<RunReport> {

@@ -44,7 +44,7 @@ use crate::engine::{self, ShardOutcome};
 use crate::metrics::{LevelStats, RunMetrics, RunReport};
 use crate::system::SystemConfig;
 use cxlg_graph::layout::EdgeListLayout;
-use cxlg_graph::{Csr, VertexId};
+use cxlg_graph::{CsrView, VertexId};
 use cxlg_sim::SimTime;
 use serde::{Deserialize, Serialize};
 
@@ -141,14 +141,14 @@ impl Traversal {
     /// Generate the per-level vertex frontiers without timing anything.
     /// Each level lists the vertices whose sublists are read, in the
     /// (sorted) order the GPU kernel would process them.
-    pub fn trace(&self, g: &Csr) -> Vec<Vec<VertexId>> {
+    pub fn trace<G: CsrView + ?Sized>(&self, g: &G) -> Vec<Vec<VertexId>> {
         self.trace_with_reached(g).0
     }
 
     /// The trace plus the reached/processed vertex count, computed in
     /// one pass (SSSP previously re-ran the whole Bellman–Ford to count
     /// reached vertices).
-    fn trace_with_reached(&self, g: &Csr) -> (Vec<Vec<VertexId>>, u64) {
+    fn trace_with_reached<G: CsrView + ?Sized>(&self, g: &G) -> (Vec<Vec<VertexId>>, u64) {
         match self.workload {
             Workload::Bfs { source } => {
                 let t = bfs_trace(g, source);
@@ -166,7 +166,7 @@ impl Traversal {
     /// Sequential planning stage: trace the workload, then route every
     /// level's sublist spans through the (stateful) access method to get
     /// per-level request batches.
-    fn plan(&self, g: &Csr, sys: &SystemConfig) -> RunPlan {
+    fn plan<G: CsrView + ?Sized>(&self, g: &G, sys: &SystemConfig) -> RunPlan {
         let layout = EdgeListLayout::new(g);
         let mut access = sys.build_access(layout.edge_list_bytes());
         let (levels_vertices, reached) = self.trace_with_reached(g);
@@ -242,7 +242,7 @@ impl Traversal {
     /// every worker count hold.
     ///
     /// [qb]: crate::system::BackendConfig::quiesces_between_batches
-    pub fn run(&self, g: &Csr, sys: &SystemConfig) -> RunReport {
+    pub fn run<G: CsrView + ?Sized>(&self, g: &G, sys: &SystemConfig) -> RunReport {
         if !sys.backend.quiesces_between_batches() {
             return self.run_coupled(g, sys);
         }
@@ -257,7 +257,7 @@ impl Traversal {
     /// chain for flash-backed ones — with no rayon involvement in the
     /// simulation stage. The differential harness pins `run` against
     /// this at several pool sizes.
-    pub fn run_reference(&self, g: &Csr, sys: &SystemConfig) -> RunReport {
+    pub fn run_reference<G: CsrView + ?Sized>(&self, g: &G, sys: &SystemConfig) -> RunReport {
         if !sys.backend.quiesces_between_batches() {
             return self.run_coupled(g, sys);
         }
@@ -276,7 +276,7 @@ impl Traversal {
     /// for backends whose device state quiesces between batches (all but
     /// the flash arrays with their page registers and jitter RNGs),
     /// [`Traversal::run`] must reproduce it bit-for-bit.
-    pub fn run_coupled(&self, g: &Csr, sys: &SystemConfig) -> RunReport {
+    pub fn run_coupled<G: CsrView + ?Sized>(&self, g: &G, sys: &SystemConfig) -> RunReport {
         let plan = self.plan(g, sys);
         let mut engine = sys.build_engine();
         let mut levels = Vec::with_capacity(plan.batches.len());
@@ -316,7 +316,7 @@ const PAR_FRONTIER_MIN: usize = 2048;
 
 /// Level-synchronous BFS frontier trace. Frontiers are sorted by vertex
 /// ID, matching GPU kernels that compact the frontier from status arrays.
-pub fn bfs_trace(g: &Csr, source: VertexId) -> Vec<Vec<VertexId>> {
+pub fn bfs_trace<G: CsrView + ?Sized>(g: &G, source: VertexId) -> Vec<Vec<VertexId>> {
     let n = g.num_vertices();
     assert!((source as usize) < n, "source out of range");
     let mut visited = vec![false; n];
@@ -339,31 +339,40 @@ pub fn bfs_trace(g: &Csr, source: VertexId) -> Vec<Vec<VertexId>> {
 /// mark-as-you-go set exactly: a vertex is in either iff it is an
 /// unvisited neighbor of some frontier vertex, and both outputs are
 /// sorted — so the trace is byte-identical at any `RAYON_NUM_THREADS`.
-fn expand_bfs_frontier(g: &Csr, frontier: &[VertexId], visited: &mut [bool]) -> Vec<VertexId> {
+fn expand_bfs_frontier<G: CsrView + ?Sized>(
+    g: &G,
+    frontier: &[VertexId],
+    visited: &mut [bool],
+) -> Vec<VertexId> {
     if frontier.len() < PAR_FRONTIER_MIN {
         let mut next = Vec::new();
         for &v in frontier {
-            for &u in g.neighbors(v) {
+            g.for_neighbors(v, &mut |u| {
                 if !visited[u as usize] {
                     visited[u as usize] = true;
                     next.push(u);
                 }
-            }
+            });
         }
         next.sort_unstable();
         next
     } else {
         use rayon::prelude::*;
         let snapshot: &[bool] = visited;
-        let mut next: Vec<VertexId> = frontier
+        // Per-vertex candidate collection through the streaming accessor;
+        // chunk order is erased by the sort + dedup below, exactly as in
+        // the slice-based path this replaces.
+        let per_vertex: Vec<Vec<VertexId>> = frontier
             .par_iter()
-            .flat_map_iter(|&v| {
-                g.neighbors(v)
-                    .iter()
-                    .copied()
-                    .filter(|&u| !snapshot[u as usize])
+            .map(|&v| {
+                let mut c = Vec::new();
+                g.with_neighbors(v, &mut |w| {
+                    c.extend(w.iter().copied().filter(|&u| !snapshot[u as usize]));
+                });
+                c
             })
             .collect();
+        let mut next: Vec<VertexId> = per_vertex.into_iter().flatten().collect();
         next.par_sort_unstable();
         next.dedup();
         for &u in &next {
@@ -375,7 +384,7 @@ fn expand_bfs_frontier(g: &Csr, frontier: &[VertexId], visited: &mut [bool]) -> 
 
 /// Frontier-based Bellman–Ford rounds: each round reads the sublists of
 /// vertices whose distance improved in the previous round.
-pub fn sssp_trace(g: &Csr, source: VertexId, max_weight: u32) -> Vec<Vec<VertexId>> {
+pub fn sssp_trace<G: CsrView + ?Sized>(g: &G, source: VertexId, max_weight: u32) -> Vec<Vec<VertexId>> {
     sssp_trace_with_reached(g, source, max_weight).0
 }
 
@@ -387,8 +396,8 @@ pub fn sssp_trace(g: &Csr, source: VertexId, max_weight: u32) -> Vec<Vec<VertexI
 /// relaxations later in the same round, so the in-round processing order
 /// is part of the algorithm's semantics and the expansion stays
 /// sequential (see the module docs).
-pub fn sssp_trace_with_reached(
-    g: &Csr,
+pub fn sssp_trace_with_reached<G: CsrView + ?Sized>(
+    g: &G,
     source: VertexId,
     max_weight: u32,
 ) -> (Vec<Vec<VertexId>>, u64) {
@@ -403,13 +412,13 @@ pub fn sssp_trace_with_reached(
         let mut improved = Vec::new();
         for &v in &frontier {
             let dv = dist[v as usize];
-            for &u in g.neighbors(v) {
+            g.for_neighbors(v, &mut |u| {
                 let w = g.edge_weight(v, u, max_weight) as u64;
                 if dv + w < dist[u as usize] {
                     dist[u as usize] = dv + w;
                     improved.push(u);
                 }
-            }
+            });
         }
         improved.sort_unstable();
         improved.dedup();
@@ -422,7 +431,7 @@ pub fn sssp_trace_with_reached(
 /// PageRank access trace: every iteration reads every (non-isolated)
 /// vertex's sublist in ID order — the sequential pattern the Discussion
 /// section contrasts with BFS.
-pub fn pagerank_trace(g: &Csr, iterations: u32) -> Vec<Vec<VertexId>> {
+pub fn pagerank_trace<G: CsrView + ?Sized>(g: &G, iterations: u32) -> Vec<Vec<VertexId>> {
     let all: Vec<VertexId> = (0..g.num_vertices() as VertexId)
         .filter(|&v| g.degree(v) > 0)
         .collect();
@@ -431,7 +440,7 @@ pub fn pagerank_trace(g: &Csr, iterations: u32) -> Vec<Vec<VertexId>> {
 
 /// Compute PageRank values (damping 0.85) for result validation; the
 /// access trace is produced by [`pagerank_trace`].
-pub fn pagerank_values(g: &Csr, iterations: u32) -> Vec<f64> {
+pub fn pagerank_values<G: CsrView + ?Sized>(g: &G, iterations: u32) -> Vec<f64> {
     let n = g.num_vertices();
     let mut rank = vec![1.0 / n as f64; n];
     let mut next = vec![0.0f64; n];
@@ -447,9 +456,9 @@ pub fn pagerank_values(g: &Csr, iterations: u32) -> Vec<f64> {
                 continue;
             }
             let share = d * rank[v as usize] / deg as f64;
-            for &u in g.neighbors(v) {
+            g.for_neighbors(v, &mut |u| {
                 next[u as usize] += share;
-            }
+            });
         }
         let spread = d * dangling / n as f64;
         next.iter_mut().for_each(|x| *x += spread);
@@ -462,7 +471,7 @@ pub fn pagerank_values(g: &Csr, iterations: u32) -> Vec<f64> {
 /// trace and the number of components found. Like SSSP, rounds are
 /// Gauss–Seidel (labels lowered early in a round propagate within it),
 /// so the expansion is sequential by design.
-pub fn cc_trace(g: &Csr) -> (Vec<Vec<VertexId>>, u64) {
+pub fn cc_trace<G: CsrView + ?Sized>(g: &G) -> (Vec<Vec<VertexId>>, u64) {
     let n = g.num_vertices();
     let mut label: Vec<VertexId> = (0..n as VertexId).collect();
     let mut frontier: Vec<VertexId> = (0..n as VertexId).filter(|&v| g.degree(v) > 0).collect();
@@ -472,12 +481,12 @@ pub fn cc_trace(g: &Csr) -> (Vec<Vec<VertexId>>, u64) {
         let mut changed = Vec::new();
         for &v in &frontier {
             let lv = label[v as usize];
-            for &u in g.neighbors(v) {
+            g.for_neighbors(v, &mut |u| {
                 if lv < label[u as usize] {
                     label[u as usize] = lv;
                     changed.push(u);
                 }
-            }
+            });
         }
         changed.sort_unstable();
         changed.dedup();
@@ -498,6 +507,7 @@ pub fn cc_trace(g: &Csr) -> (Vec<Vec<VertexId>>, u64) {
 mod tests {
     use super::*;
     use cxlg_graph::spec::GraphSpec;
+    use cxlg_graph::Csr;
     use cxlg_link::pcie::PcieGen;
 
     fn path_graph(n: usize) -> Csr {

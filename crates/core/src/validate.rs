@@ -6,28 +6,32 @@
 //! bug can never silently corrupt algorithmic results.
 
 use crate::traversal::{bfs_trace, sssp_trace};
-use cxlg_graph::{Csr, VertexId};
+use cxlg_graph::{CsrView, VertexId};
 use std::collections::VecDeque;
 
 /// BFS depths by a plain queue implementation; `u32::MAX` = unreached.
-pub fn reference_bfs_depths(g: &Csr, source: VertexId) -> Vec<u32> {
+pub fn reference_bfs_depths<G: CsrView + ?Sized>(g: &G, source: VertexId) -> Vec<u32> {
     let n = g.num_vertices();
     let mut depth = vec![u32::MAX; n];
     depth[source as usize] = 0;
     let mut queue = VecDeque::from([source]);
     while let Some(v) = queue.pop_front() {
-        for &u in g.neighbors(v) {
+        g.for_neighbors(v, &mut |u| {
             if depth[u as usize] == u32::MAX {
                 depth[u as usize] = depth[v as usize] + 1;
                 queue.push_back(u);
             }
-        }
+        });
     }
     depth
 }
 
 /// Dijkstra reference distances; `u64::MAX` = unreached.
-pub fn reference_sssp_distances(g: &Csr, source: VertexId, max_weight: u32) -> Vec<u64> {
+pub fn reference_sssp_distances<G: CsrView + ?Sized>(
+    g: &G,
+    source: VertexId,
+    max_weight: u32,
+) -> Vec<u64> {
     use std::cmp::Reverse;
     use std::collections::BinaryHeap;
     let n = g.num_vertices();
@@ -38,20 +42,24 @@ pub fn reference_sssp_distances(g: &Csr, source: VertexId, max_weight: u32) -> V
         if d > dist[v as usize] {
             continue;
         }
-        for &u in g.neighbors(v) {
+        g.for_neighbors(v, &mut |u| {
             let nd = d + g.edge_weight(v, u, max_weight) as u64;
             if nd < dist[u as usize] {
                 dist[u as usize] = nd;
                 heap.push(Reverse((nd, u)));
             }
-        }
+        });
     }
     dist
 }
 
 /// Verify that a level-synchronous BFS trace assigns every vertex the
 /// reference depth (vertex in level `k` ⇔ reference depth `k`).
-pub fn verify_bfs_trace(g: &Csr, source: VertexId, trace: &[Vec<VertexId>]) -> Result<(), String> {
+pub fn verify_bfs_trace<G: CsrView + ?Sized>(
+    g: &G,
+    source: VertexId,
+    trace: &[Vec<VertexId>],
+) -> Result<(), String> {
     let reference = reference_bfs_depths(g, source);
     let mut seen = vec![false; g.num_vertices()];
     for (k, level) in trace.iter().enumerate() {
@@ -78,7 +86,11 @@ pub fn verify_bfs_trace(g: &Csr, source: VertexId, trace: &[Vec<VertexId>]) -> R
 
 /// Verify that the frontier-Bellman–Ford trace converges to Dijkstra's
 /// distances (re-running the relaxations over the trace).
-pub fn verify_sssp(g: &Csr, source: VertexId, max_weight: u32) -> Result<(), String> {
+pub fn verify_sssp<G: CsrView + ?Sized>(
+    g: &G,
+    source: VertexId,
+    max_weight: u32,
+) -> Result<(), String> {
     // Replay the production trace's relaxation logic...
     let trace = sssp_trace(g, source, max_weight);
     let mut dist = vec![u64::MAX; g.num_vertices()];
@@ -89,12 +101,12 @@ pub fn verify_sssp(g: &Csr, source: VertexId, max_weight: u32) -> Result<(), Str
             if dv == u64::MAX {
                 return Err(format!("vertex {v} active with infinite distance"));
             }
-            for &u in g.neighbors(v) {
+            g.for_neighbors(v, &mut |u| {
                 let nd = dv + g.edge_weight(v, u, max_weight) as u64;
                 if nd < dist[u as usize] {
                     dist[u as usize] = nd;
                 }
-            }
+            });
         }
     }
     // ...and compare with Dijkstra.
@@ -108,7 +120,7 @@ pub fn verify_sssp(g: &Csr, source: VertexId, max_weight: u32) -> Result<(), Str
 }
 
 /// Count connected components by union-find (reference for `cc_trace`).
-pub fn reference_component_count(g: &Csr) -> u64 {
+pub fn reference_component_count<G: CsrView + ?Sized>(g: &G) -> u64 {
     let n = g.num_vertices();
     let mut parent: Vec<u32> = (0..n as u32).collect();
     fn find(parent: &mut [u32], mut x: u32) -> u32 {
@@ -119,19 +131,19 @@ pub fn reference_component_count(g: &Csr) -> u64 {
         x
     }
     for v in 0..n as u32 {
-        for &u in g.neighbors(v) {
+        g.for_neighbors(v, &mut |u| {
             let (rv, ru) = (find(&mut parent, v), find(&mut parent, u));
             if rv != ru {
                 parent[rv.max(ru) as usize] = rv.min(ru);
             }
-        }
+        });
     }
     (0..n as u32).filter(|&v| find(&mut parent, v) == v).count() as u64
 }
 
 /// End-to-end check used by tests: BFS trace, SSSP convergence, and CC
 /// count all match their references.
-pub fn verify_all(g: &Csr, source: VertexId) -> Result<(), String> {
+pub fn verify_all<G: CsrView + ?Sized>(g: &G, source: VertexId) -> Result<(), String> {
     verify_bfs_trace(g, source, &bfs_trace(g, source))?;
     verify_sssp(g, source, 64)?;
     let (_, cc) = crate::traversal::cc_trace(g);

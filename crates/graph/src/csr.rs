@@ -113,35 +113,25 @@ impl Csr {
     /// carries the same weights without storing them.
     #[inline]
     pub fn edge_weight(&self, u: VertexId, v: VertexId, max_weight: u32) -> u32 {
-        debug_assert!(max_weight >= 1);
-        let mut z = ((u as u64) << 32 | v as u64).wrapping_add(0x9E3779B97F4A7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^= z >> 31;
-        1 + (z % max_weight as u64) as u32
+        edge_weight(u, v, max_weight)
     }
 
     /// FNV-1a hash over the raw offsets and targets arrays — a compact
     /// identity for the whole graph. Two `Csr`s are equal iff their
-    /// arrays are equal, so fingerprint equality across builders or
-    /// thread counts is (collision-negligible) evidence of bit-identical
-    /// construction; the determinism tests and the `cxlg graph-mem`
-    /// probe both rely on it.
+    /// arrays are equal, so fingerprint equality across builders,
+    /// storage backends, or thread counts is (collision-negligible)
+    /// evidence of bit-identical construction; the determinism tests,
+    /// the spill backend's differential gates, and the `cxlg graph-mem`
+    /// probe all rely on it.
     pub fn fingerprint(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
-        const FNV_PRIME: u64 = 0x100000001b3;
-        let mut h = FNV_OFFSET;
+        let mut h = Fnv1a::new();
         for &o in &self.offsets {
-            for b in o.to_le_bytes() {
-                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
-            }
+            h.update(&o.to_le_bytes());
         }
         for &t in &self.targets {
-            for b in t.to_le_bytes() {
-                h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
-            }
+            h.update(&t.to_le_bytes());
         }
-        h
+        h.finish()
     }
 
     /// The vertex with the largest out-degree (first such on ties);
@@ -175,6 +165,56 @@ impl Csr {
             }
         }
         Ok(())
+    }
+}
+
+/// Deterministic edge weight for SSSP, in `[1, max_weight]` — the free
+/// function behind [`Csr::edge_weight`], shared by every storage backend
+/// (weights are a pure function of the endpoints, so no backend needs to
+/// store them).
+#[inline]
+pub fn edge_weight(u: VertexId, v: VertexId, max_weight: u32) -> u32 {
+    debug_assert!(max_weight >= 1);
+    let mut z = ((u as u64) << 32 | v as u64).wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    1 + (z % max_weight as u64) as u32
+}
+
+/// Incremental FNV-1a 64, the workspace's graph-identity hash. The spill
+/// file stores per-array checksums and the whole-graph fingerprint
+/// computed with this exact state machine, so a fingerprint streamed
+/// from disk is bit-comparable with [`Csr::fingerprint`].
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+
+    /// Fresh hash state.
+    pub fn new() -> Self {
+        Fnv1a(Self::OFFSET)
+    }
+
+    /// Absorb bytes.
+    #[inline]
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Current hash value (the state is usable after finishing).
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

@@ -11,7 +11,7 @@
 
 use crate::builder::csr_from_arc_stream;
 use crate::csr::Csr;
-use crate::gen::{chunk_rng, chunk_sizes};
+use crate::gen::{chunk_rng, chunk_sizes, ArcStream};
 use crate::VertexId;
 use rand::seq::SliceRandom;
 use rand::rngs::SmallRng;
@@ -47,11 +47,9 @@ fn rmat_edge(rng: &mut SmallRng, scale: u32) -> (VertexId, VertexId) {
     (src, dst)
 }
 
-/// Generate a Kronecker graph with `2^scale` vertices and
-/// `edge_factor * 2^scale` undirected edges (Graph500 default edge factor
-/// is 16), symmetrized and deduplicated, with vertex IDs randomly
-/// permuted.
-pub fn generate(scale: u32, edge_factor: u32, seed: u64) -> Csr {
+/// The regenerable arc stream behind [`generate`]; the relabeling
+/// permutation is built once and captured by the chunk closure.
+pub(crate) fn arc_stream(scale: u32, edge_factor: u32, seed: u64) -> ArcStream {
     assert!(scale >= 1 && scale < 32, "scale out of range: {scale}");
     let n = 1usize << scale;
     let undirected = n as u64 * edge_factor as u64;
@@ -60,15 +58,30 @@ pub fn generate(scale: u32, edge_factor: u32, seed: u64) -> Csr {
     let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
     perm.shuffle(&mut SmallRng::seed_from_u64(seed ^ 0xA5A5_5A5A_DEAD_BEEF));
 
-    let chunks = chunk_sizes(undirected);
-    csr_from_arc_stream(n, &chunks, true, |chunk, count, sink| {
-        let mut rng = chunk_rng(seed, chunk);
-        for _ in 0..count {
-            let (s, d) = rmat_edge(&mut rng, scale);
-            let (s, d) = (perm[s as usize], perm[d as usize]);
-            sink(s, d);
-            sink(d, s);
-        }
+    ArcStream {
+        n,
+        chunks: chunk_sizes(undirected),
+        dedup: true,
+        stream: Box::new(move |chunk, count, sink| {
+            let mut rng = chunk_rng(seed, chunk);
+            for _ in 0..count {
+                let (s, d) = rmat_edge(&mut rng, scale);
+                let (s, d) = (perm[s as usize], perm[d as usize]);
+                sink(s, d);
+                sink(d, s);
+            }
+        }),
+    }
+}
+
+/// Generate a Kronecker graph with `2^scale` vertices and
+/// `edge_factor * 2^scale` undirected edges (Graph500 default edge factor
+/// is 16), symmetrized and deduplicated, with vertex IDs randomly
+/// permuted.
+pub fn generate(scale: u32, edge_factor: u32, seed: u64) -> Csr {
+    let parts = arc_stream(scale, edge_factor, seed);
+    csr_from_arc_stream(parts.n, &parts.chunks, parts.dedup, |chunk, count, sink| {
+        (parts.stream)(chunk, count, sink)
     })
 }
 

@@ -20,8 +20,27 @@ pub mod kronecker;
 pub mod social;
 pub mod uniform;
 
+use crate::VertexId;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// A regenerable arc stream plus the metadata both CSR builders need:
+/// the vertex count, the chunk descriptor list, and the family's dedup
+/// policy. Each generator family packages its chunk closure (including
+/// any per-build state such as the Kronecker permutation or the
+/// Chung–Lu alias table) into one of these, so the in-memory scatter
+/// builder ([`crate::builder::csr_from_arc_stream`]) and the file-backed
+/// spill builder ([`crate::storage`]) consume byte-identical streams.
+pub(crate) struct ArcStream {
+    /// Number of vertices (`2^scale`).
+    pub n: usize,
+    /// `(chunk_index, generator_len)` descriptors (see [`chunk_sizes`]).
+    pub chunks: Vec<(u64, usize)>,
+    /// Whether duplicate arcs collapse (kron/social yes, urand no).
+    pub dedup: bool,
+    /// Emits chunk `chunk`'s arcs via the sink, identically on every call.
+    pub stream: Box<dyn Fn(u64, usize, &mut dyn FnMut(VertexId, VertexId)) + Sync + Send>,
+}
 
 /// Edges generated per parallel chunk. Large enough to amortize thread
 /// dispatch, small enough to balance across cores.

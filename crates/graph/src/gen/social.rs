@@ -12,7 +12,7 @@
 
 use crate::builder::csr_from_arc_stream;
 use crate::csr::Csr;
-use crate::gen::{chunk_rng, chunk_sizes};
+use crate::gen::{chunk_rng, chunk_sizes, ArcStream};
 use rand::Rng;
 
 /// Walker alias table for O(1) sampling from a discrete distribution.
@@ -111,6 +111,24 @@ pub fn generate(scale: u32, avg_degree: u32, seed: u64) -> Csr {
 
 /// [`generate`] with an explicit power-law exponent.
 pub fn generate_with_exponent(scale: u32, avg_degree: u32, exponent: f64, seed: u64) -> Csr {
+    let parts = arc_stream_with_exponent(scale, avg_degree, exponent, seed);
+    csr_from_arc_stream(parts.n, &parts.chunks, parts.dedup, |chunk, count, sink| {
+        (parts.stream)(chunk, count, sink)
+    })
+}
+
+/// The regenerable arc stream behind [`generate`]; the alias table is
+/// built once and captured by the chunk closure.
+pub(crate) fn arc_stream(scale: u32, avg_degree: u32, seed: u64) -> ArcStream {
+    arc_stream_with_exponent(scale, avg_degree, 2.5, seed)
+}
+
+pub(crate) fn arc_stream_with_exponent(
+    scale: u32,
+    avg_degree: u32,
+    exponent: f64,
+    seed: u64,
+) -> ArcStream {
     assert!(scale >= 1 && scale < 32, "scale out of range: {scale}");
     assert!(exponent > 1.5, "exponent too heavy: {exponent}");
     let n = 1usize << scale;
@@ -118,25 +136,29 @@ pub fn generate_with_exponent(scale: u32, avg_degree: u32, exponent: f64, seed: 
     let table = AliasTable::new(&weights);
     let undirected = (n as u64 * avg_degree as u64) / 2;
 
-    let chunks = chunk_sizes(undirected);
-    csr_from_arc_stream(n, &chunks, true, |chunk, count, sink| {
-        let mut rng = chunk_rng(seed, chunk);
-        for _ in 0..count {
-            let s = table.sample(&mut rng);
-            let mut d = table.sample(&mut rng);
-            let mut tries = 0;
-            while d == s && tries < 16 {
-                d = table.sample(&mut rng);
-                tries += 1;
+    ArcStream {
+        n,
+        chunks: chunk_sizes(undirected),
+        dedup: true,
+        stream: Box::new(move |chunk, count, sink| {
+            let mut rng = chunk_rng(seed, chunk);
+            for _ in 0..count {
+                let s = table.sample(&mut rng);
+                let mut d = table.sample(&mut rng);
+                let mut tries = 0;
+                while d == s && tries < 16 {
+                    d = table.sample(&mut rng);
+                    tries += 1;
+                }
+                if d == s {
+                    // Pathological weight concentration; drop the edge.
+                    continue;
+                }
+                sink(s, d);
+                sink(d, s);
             }
-            if d == s {
-                // Pathological weight concentration; drop the edge.
-                continue;
-            }
-            sink(s, d);
-            sink(d, s);
-        }
-    })
+        }),
+    }
 }
 
 #[cfg(test)]

@@ -10,9 +10,37 @@
 
 use crate::builder::csr_from_arc_stream;
 use crate::csr::Csr;
-use crate::gen::{chunk_rng, chunk_sizes};
+use crate::gen::{chunk_rng, chunk_sizes, ArcStream};
 use crate::VertexId;
 use rand::Rng;
+
+/// The regenerable arc stream behind [`generate`], shared with the spill
+/// builder so both storage backends consume identical arcs.
+pub(crate) fn arc_stream(scale: u32, avg_degree: u32, seed: u64) -> ArcStream {
+    assert!(scale >= 1 && scale < 32, "scale out of range: {scale}");
+    assert!(avg_degree >= 1, "avg_degree must be positive");
+    let n = 1usize << scale;
+    let undirected = (n as u64 * avg_degree as u64) / 2;
+
+    ArcStream {
+        n,
+        chunks: chunk_sizes(undirected),
+        dedup: false,
+        stream: Box::new(move |chunk, count, sink| {
+            let mut rng = chunk_rng(seed, chunk);
+            let n = n as u64;
+            for _ in 0..count {
+                let s = rng.gen_range(0..n) as VertexId;
+                let mut d = rng.gen_range(0..n) as VertexId;
+                while d == s {
+                    d = rng.gen_range(0..n) as VertexId;
+                }
+                sink(s, d);
+                sink(d, s);
+            }
+        }),
+    }
+}
 
 /// Generate a uniform random graph with `2^scale` vertices and an average
 /// *directed* degree of `avg_degree` (so `n * avg_degree / 2` undirected
@@ -22,24 +50,9 @@ use rand::Rng;
 /// by both passes of the streaming scatter builder, so peak memory is
 /// the final CSR plus the per-vertex offset/cursor arrays.
 pub fn generate(scale: u32, avg_degree: u32, seed: u64) -> Csr {
-    assert!(scale >= 1 && scale < 32, "scale out of range: {scale}");
-    assert!(avg_degree >= 1, "avg_degree must be positive");
-    let n = 1usize << scale;
-    let undirected = (n as u64 * avg_degree as u64) / 2;
-
-    let chunks = chunk_sizes(undirected);
-    csr_from_arc_stream(n, &chunks, false, |chunk, count, sink| {
-        let mut rng = chunk_rng(seed, chunk);
-        let n = n as u64;
-        for _ in 0..count {
-            let s = rng.gen_range(0..n) as VertexId;
-            let mut d = rng.gen_range(0..n) as VertexId;
-            while d == s {
-                d = rng.gen_range(0..n) as VertexId;
-            }
-            sink(s, d);
-            sink(d, s);
-        }
+    let parts = arc_stream(scale, avg_degree, seed);
+    csr_from_arc_stream(parts.n, &parts.chunks, parts.dedup, |chunk, count, sink| {
+        (parts.stream)(chunk, count, sink)
     })
 }
 

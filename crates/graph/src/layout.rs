@@ -9,6 +9,7 @@
 //! the read-amplification factor (RAF, §3.1, Figure 2).
 
 use crate::csr::Csr;
+use crate::storage::CsrView;
 use crate::VertexId;
 use serde::{Deserialize, Serialize};
 
@@ -73,15 +74,18 @@ pub fn span_block_range(span: ByteSpan, align: u64) -> (u64, u64) {
     (span.offset / align, (span.end() - 1) / align + 1)
 }
 
-/// Maps vertices to edge-sublist byte spans for a given CSR.
+/// Maps vertices to edge-sublist byte spans for a given CSR. Generic
+/// over the storage backend (the byte math only needs offsets, which
+/// every [`CsrView`] keeps resident); the default parameter keeps
+/// existing `EdgeListLayout::new(&csr)` call sites unchanged.
 #[derive(Debug, Clone)]
-pub struct EdgeListLayout<'a> {
-    csr: &'a Csr,
+pub struct EdgeListLayout<'a, G: ?Sized = Csr> {
+    csr: &'a G,
 }
 
-impl<'a> EdgeListLayout<'a> {
+impl<'a, G: CsrView + ?Sized> EdgeListLayout<'a, G> {
     /// Layout view over `csr`.
-    pub fn new(csr: &'a Csr) -> Self {
+    pub fn new(csr: &'a G) -> Self {
         EdgeListLayout { csr }
     }
 

@@ -28,11 +28,13 @@ pub mod layout;
 pub mod reorder;
 pub mod spec;
 pub mod stats;
+pub mod storage;
 
 pub use csr::Csr;
 pub use layout::EdgeListLayout;
 pub use spec::{GraphKind, GraphSpec};
 pub use stats::DegreeStats;
+pub use storage::{CsrStorage, CsrView, SpillConfig, SpillCsr, StorageMode};
 
 /// In-memory vertex identifier. The paper's graphs have fewer than 2^32
 /// vertices, and so do all configurable scales here; the *external* layout

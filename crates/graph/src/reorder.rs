@@ -16,23 +16,25 @@
 
 use crate::builder::csr_from_packed_arcs;
 use crate::csr::Csr;
+use crate::storage::CsrView;
 use crate::VertexId;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// Apply a relabeling permutation: vertex `v` becomes `perm[v]`.
-/// `perm` must be a permutation of `0..n`.
-pub fn relabel(g: &Csr, perm: &[VertexId]) -> Csr {
+/// `perm` must be a permutation of `0..n`. The input may live in any
+/// storage backend; the relabeled result is always in-memory.
+pub fn relabel<G: CsrView + ?Sized>(g: &G, perm: &[VertexId]) -> Csr {
     let n = g.num_vertices();
     assert_eq!(perm.len(), n, "permutation length mismatch");
     debug_assert!(is_permutation(perm));
     let mut arcs: Vec<u64> = Vec::with_capacity(g.num_edges() as usize);
     for v in 0..n as VertexId {
         let nv = perm[v as usize];
-        for &u in g.neighbors(v) {
+        g.for_neighbors(v, &mut |u| {
             arcs.push(crate::builder::pack_arc(nv, perm[u as usize]));
-        }
+        });
     }
     csr_from_packed_arcs(n, arcs, false)
 }
@@ -50,7 +52,7 @@ fn is_permutation(perm: &[VertexId]) -> bool {
 
 /// Relabel so the highest-degree vertices get the lowest IDs (their
 /// sublists pack together at the front of the edge list).
-pub fn by_degree(g: &Csr) -> Csr {
+pub fn by_degree<G: CsrView + ?Sized>(g: &G) -> Csr {
     let n = g.num_vertices();
     let mut order: Vec<VertexId> = (0..n as VertexId).collect();
     order.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
@@ -63,7 +65,7 @@ pub fn by_degree(g: &Csr) -> Csr {
 
 /// Relabel in BFS discovery order from `source`; unreached vertices keep
 /// their relative order after the reached ones.
-pub fn by_bfs(g: &Csr, source: VertexId) -> Csr {
+pub fn by_bfs<G: CsrView + ?Sized>(g: &G, source: VertexId) -> Csr {
     let n = g.num_vertices();
     let mut perm = vec![VertexId::MAX; n];
     let mut next_id: VertexId = 0;
@@ -73,13 +75,13 @@ pub fn by_bfs(g: &Csr, source: VertexId) -> Csr {
     while !frontier.is_empty() {
         let mut next = Vec::new();
         for &v in &frontier {
-            for &u in g.neighbors(v) {
+            g.for_neighbors(v, &mut |u| {
                 if perm[u as usize] == VertexId::MAX {
                     perm[u as usize] = next_id;
                     next_id += 1;
                     next.push(u);
                 }
-            }
+            });
         }
         next.sort_unstable();
         frontier = next;
@@ -94,7 +96,7 @@ pub fn by_bfs(g: &Csr, source: VertexId) -> Csr {
 }
 
 /// Random relabeling — destroys any locality (the adversarial baseline).
-pub fn random(g: &Csr, seed: u64) -> Csr {
+pub fn random<G: CsrView + ?Sized>(g: &G, seed: u64) -> Csr {
     let n = g.num_vertices();
     let mut perm: Vec<VertexId> = (0..n as VertexId).collect();
     perm.shuffle(&mut SmallRng::seed_from_u64(seed));

@@ -5,6 +5,7 @@
 
 use crate::csr::Csr;
 use crate::gen;
+use crate::storage::{CsrStorage, SpillConfig, StorageMode};
 use serde::{Deserialize, Serialize};
 
 /// Which synthetic dataset family to generate.
@@ -119,6 +120,35 @@ impl GraphSpec {
                 gen::social::generate(self.scale, avg_degree, self.seed)
             }
         }
+    }
+
+    /// The family's regenerable arc stream — the shared input of the
+    /// in-memory scatter builder and the file-backed spill builder.
+    pub(crate) fn arc_stream(&self) -> gen::ArcStream {
+        match self.kind {
+            GraphKind::Uniform { avg_degree } => {
+                gen::uniform::arc_stream(self.scale, avg_degree, self.seed)
+            }
+            GraphKind::Kronecker { edge_factor } => {
+                gen::kronecker::arc_stream(self.scale, edge_factor, self.seed)
+            }
+            GraphKind::Social { avg_degree } => {
+                gen::social::arc_stream(self.scale, avg_degree, self.seed)
+            }
+        }
+    }
+
+    /// Generate the graph into the requested storage backend. `spill`
+    /// configures the file-backed backend (directory, page cache) and is
+    /// ignored in [`StorageMode::Mem`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spill file cannot be written (I/O errors during
+    /// construction are unrecoverable for a campaign, like OOM in mem
+    /// mode).
+    pub fn build_with(&self, mode: StorageMode, spill: &SpillConfig) -> CsrStorage {
+        CsrStorage::build(self, mode, spill)
     }
 
     /// The three paper datasets at one scale, in Table 1 order.

@@ -2,8 +2,8 @@
 //! vertex count, edge count (and edge-list size in bytes), and average
 //! degree / sublist size computed over non-isolated vertices.
 
-use crate::csr::Csr;
 use crate::layout::BYTES_PER_ID;
+use crate::storage::CsrView;
 use serde::{Deserialize, Serialize};
 
 /// Summary statistics for one dataset (one row of Table 1, plus extras).
@@ -30,8 +30,9 @@ pub struct DegreeStats {
 }
 
 impl DegreeStats {
-    /// Compute statistics for a CSR.
-    pub fn compute(g: &Csr) -> Self {
+    /// Compute statistics for a CSR in any storage backend (only the
+    /// resident offsets are consulted — no edge data is paged in).
+    pub fn compute<G: CsrView + ?Sized>(g: &G) -> Self {
         let n = g.num_vertices() as u64;
         let m = g.num_edges();
         let mut nonzero: Vec<u64> = (0..g.num_vertices())
@@ -97,6 +98,7 @@ pub fn human_bytes(b: u64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::Csr;
     use crate::spec::GraphSpec;
 
     #[test]

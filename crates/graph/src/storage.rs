@@ -1,0 +1,1162 @@
+//! Storage backends for CSR graphs — in-memory arrays or a file-backed
+//! spill with demand paging — behind the [`CsrView`] accessor trait.
+//!
+//! The paper's headline workloads are graphs whose edge lists exceed
+//! host DRAM (scale 27 ≈ 30 GB), so holding `targets` resident caps the
+//! reachable scale long before the simulator does. [`SpillCsr`] keeps
+//! only the offsets array (8 B/vertex) and a small page cache resident;
+//! the targets live in a spill file written segment-by-segment by the
+//! same two-pass streaming builder discipline as
+//! [`crate::builder::csr_from_arc_stream`], so peak build RSS is bounded
+//! by one segment (≈ `segment_arcs` arcs) instead of the whole edge
+//! list.
+//!
+//! ## Spill file layout (`CXLGSPL1`)
+//!
+//! ```text
+//! offset  size        field
+//! 0       8           magic  b"CXLGSPL1"
+//! 8       8           n      vertex count           (u64 LE)
+//! 16      8           m      arc count              (u64 LE)
+//! 24      8           offsets checksum  (FNV-1a 64 over offsets LE bytes)
+//! 32      8           targets checksum  (FNV-1a 64 over targets LE bytes)
+//! 40      8           fingerprint       (== Csr::fingerprint)
+//! 48      (n+1)*8     offsets, u64 LE each
+//! 48+(n+1)*8  m*4     targets, u32 LE each
+//! ```
+//!
+//! Invariants enforced by [`SpillCsr::open`] (corruption is an
+//! [`std::io::Error`], never UB): exact file length, monotone offsets
+//! ending at `m`, every target `< n`, and all three checksums. The
+//! fingerprint is computed with the byte-for-byte same FNV-1a state
+//! machine as [`Csr::fingerprint`], which is what makes cross-backend
+//! fingerprint equality a meaningful differential gate.
+
+use crate::builder::{pack_arc, unpack_arc};
+use crate::csr::{edge_weight, Csr, Fnv1a};
+use crate::spec::GraphSpec;
+use crate::VertexId;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Spill file magic bytes (version 1).
+const MAGIC: [u8; 8] = *b"CXLGSPL1";
+/// Fixed header size before the offsets region.
+const HEADER_BYTES: u64 = 48;
+
+/// Read-side accessor every graph consumer is written against: the
+/// traversal planners, trace generators, validators, and statistics all
+/// take `G: CsrView` instead of `&Csr`, so the in-memory and spill
+/// backends are interchangeable at every layer.
+///
+/// `with_neighbors` is the streaming replacement for
+/// [`Csr::neighbors`]'s whole-array borrow: the callback receives one or
+/// more consecutive windows that concatenate to exactly vertex `v`'s
+/// sublist (the in-memory backend yields a single zero-copy window; the
+/// spill backend yields one window per cached page the sublist spans).
+pub trait CsrView: Sync {
+    /// Number of vertices.
+    fn num_vertices(&self) -> usize;
+    /// Number of directed edges (arcs).
+    fn num_edges(&self) -> u64;
+    /// Edge-list index range of `v`'s sublist.
+    fn sublist_range(&self, v: VertexId) -> (u64, u64);
+    /// Stream `v`'s neighbor sublist as consecutive windows.
+    fn with_neighbors(&self, v: VertexId, f: &mut dyn FnMut(&[VertexId]));
+    /// FNV-1a identity over offsets then targets (see [`Csr::fingerprint`]).
+    fn fingerprint(&self) -> u64;
+
+    /// Out-degree of `v`.
+    fn degree(&self, v: VertexId) -> u64 {
+        let (s, e) = self.sublist_range(v);
+        e - s
+    }
+
+    /// Visit each neighbor of `v` in sublist order.
+    fn for_neighbors(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+        self.with_neighbors(v, &mut |w| {
+            for &u in w {
+                f(u);
+            }
+        });
+    }
+
+    /// Materialize `v`'s sublist (convenience for call sites that need a
+    /// contiguous slice regardless of backend).
+    fn neighbors_vec(&self, v: VertexId) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(self.degree(v) as usize);
+        self.with_neighbors(v, &mut |w| out.extend_from_slice(w));
+        out
+    }
+
+    /// Number of vertices with degree zero.
+    fn num_isolated(&self) -> usize {
+        (0..self.num_vertices())
+            .filter(|&v| self.degree(v as VertexId) == 0)
+            .count()
+    }
+
+    /// The vertex with the largest out-degree (first such on ties);
+    /// `None` for an edgeless graph.
+    fn max_degree_vertex(&self) -> Option<VertexId> {
+        (0..self.num_vertices() as VertexId)
+            .max_by_key(|&v| (self.degree(v), std::cmp::Reverse(v)))
+            .filter(|&v| self.degree(v) > 0)
+    }
+
+    /// Deterministic SSSP edge weight (pure function of the endpoints,
+    /// identical across backends — see [`crate::csr::edge_weight`]).
+    fn edge_weight(&self, u: VertexId, v: VertexId, max_weight: u32) -> u32 {
+        edge_weight(u, v, max_weight)
+    }
+}
+
+impl CsrView for Csr {
+    fn num_vertices(&self) -> usize {
+        Csr::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> u64 {
+        Csr::num_edges(self)
+    }
+
+    fn sublist_range(&self, v: VertexId) -> (u64, u64) {
+        Csr::sublist_range(self, v)
+    }
+
+    fn with_neighbors(&self, v: VertexId, f: &mut dyn FnMut(&[VertexId])) {
+        f(self.neighbors(v));
+    }
+
+    fn fingerprint(&self) -> u64 {
+        Csr::fingerprint(self)
+    }
+
+    fn degree(&self, v: VertexId) -> u64 {
+        Csr::degree(self, v)
+    }
+
+    fn num_isolated(&self) -> usize {
+        Csr::num_isolated(self)
+    }
+
+    fn max_degree_vertex(&self) -> Option<VertexId> {
+        Csr::max_degree_vertex(self)
+    }
+}
+
+macro_rules! forward_csr_view {
+    () => {
+        fn num_vertices(&self) -> usize {
+            (**self).num_vertices()
+        }
+        fn num_edges(&self) -> u64 {
+            (**self).num_edges()
+        }
+        fn sublist_range(&self, v: VertexId) -> (u64, u64) {
+            (**self).sublist_range(v)
+        }
+        fn with_neighbors(&self, v: VertexId, f: &mut dyn FnMut(&[VertexId])) {
+            (**self).with_neighbors(v, f)
+        }
+        fn fingerprint(&self) -> u64 {
+            (**self).fingerprint()
+        }
+        fn degree(&self, v: VertexId) -> u64 {
+            (**self).degree(v)
+        }
+        fn for_neighbors(&self, v: VertexId, f: &mut dyn FnMut(VertexId)) {
+            (**self).for_neighbors(v, f)
+        }
+        fn neighbors_vec(&self, v: VertexId) -> Vec<VertexId> {
+            (**self).neighbors_vec(v)
+        }
+        fn num_isolated(&self) -> usize {
+            (**self).num_isolated()
+        }
+        fn max_degree_vertex(&self) -> Option<VertexId> {
+            (**self).max_degree_vertex()
+        }
+    };
+}
+
+impl<T: CsrView + ?Sized> CsrView for &T {
+    forward_csr_view!();
+}
+
+impl<T: CsrView + Send + ?Sized> CsrView for Arc<T> {
+    forward_csr_view!();
+}
+
+/// Which storage backend a graph build should target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum StorageMode {
+    /// Offsets and targets fully resident (the historical behavior).
+    #[default]
+    Mem,
+    /// Offsets resident, targets demand-paged from a spill file.
+    Spill,
+}
+
+impl StorageMode {
+    /// Parse a CLI/env value (`mem` | `spill`).
+    pub fn parse(s: &str) -> Option<StorageMode> {
+        match s {
+            "mem" => Some(StorageMode::Mem),
+            "spill" => Some(StorageMode::Spill),
+            _ => None,
+        }
+    }
+
+    /// Stable lower-case label (`mem` | `spill`).
+    pub fn label(self) -> &'static str {
+        match self {
+            StorageMode::Mem => "mem",
+            StorageMode::Spill => "spill",
+        }
+    }
+}
+
+/// Configuration of the file-backed spill backend.
+#[derive(Debug, Clone)]
+pub struct SpillConfig {
+    /// Directory the spill (and transient bucket) files live in; created
+    /// on demand.
+    pub dir: PathBuf,
+    /// Targets per demand-paged cache page (bytes per page = 4×this).
+    pub page_len: usize,
+    /// Maximum resident pages; the cache evicts least-recently-used
+    /// beyond this.
+    pub cache_pages: usize,
+    /// Build-time segment size in counted arcs — the spill builder's
+    /// peak working set is one segment (≈ 12 B per arc: the 8 B packed
+    /// arc buffer plus the 4 B scatter buffer). A single vertex whose
+    /// degree exceeds this gets a segment of its own.
+    pub segment_arcs: u64,
+}
+
+impl SpillConfig {
+    /// Defaults: 64 Ki targets per page (256 KB), 8 cached pages (2 MB),
+    /// 1 Mi-arc build segments (≈ 12 MB working set) — sized so a
+    /// scale-18 spill build fits the CI gate's 4 B/arc peak-RSS budget.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        SpillConfig {
+            dir: dir.into(),
+            page_len: 1 << 16,
+            cache_pages: 8,
+            segment_arcs: 1 << 20,
+        }
+    }
+
+    /// Resident budget of the page cache when full.
+    pub fn page_cache_bytes(&self) -> u64 {
+        self.cache_pages as u64 * self.page_len as u64 * 4
+    }
+
+    /// Estimated peak transient working set of the spill builder.
+    pub fn build_working_bytes(&self) -> u64 {
+        self.segment_arcs.saturating_mul(12)
+    }
+
+    /// Resident overhead beyond the offsets array — what an admission
+    /// gate should budget for a spill-mode graph in addition to
+    /// 8 B/vertex.
+    pub fn resident_overhead_bytes(&self) -> u64 {
+        self.page_cache_bytes()
+            .saturating_add(self.build_working_bytes())
+    }
+}
+
+/// Process-unique suffix for spill filenames, so concurrent builds of
+/// the same spec (e.g. parallel tests in one process) never collide.
+static SPILL_FILE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// One LRU-tracked page of decoded targets.
+#[derive(Debug)]
+struct CacheEntry {
+    tick: u64,
+    data: Arc<Vec<VertexId>>,
+}
+
+/// A CSR whose targets array lives in a spill file, demand-paged through
+/// a bounded LRU cache. Offsets stay resident (8 B/vertex); the resident
+/// footprint is therefore `8(n+1) + 4·page_len·cache_pages` bytes
+/// regardless of edge count.
+#[derive(Debug)]
+pub struct SpillCsr {
+    /// Resident offsets, length `n + 1`.
+    offsets: Vec<u64>,
+    file: Mutex<File>,
+    path: PathBuf,
+    /// Byte offset of the targets region.
+    data_start: u64,
+    num_targets: u64,
+    fingerprint: u64,
+    page_len: usize,
+    cache_pages: usize,
+    cache: Mutex<BTreeMap<u64, CacheEntry>>,
+    tick: AtomicU64,
+    /// Built spills own (and delete) their file; opened ones do not.
+    owns_file: bool,
+}
+
+impl SpillCsr {
+    /// Build `spec`'s graph directly into a spill file under
+    /// `cfg.dir`, never materializing the full targets array. The file
+    /// is deleted when the returned value drops.
+    pub fn build(spec: &GraphSpec, cfg: &SpillConfig) -> io::Result<SpillCsr> {
+        let parts = spec.arc_stream();
+        fs::create_dir_all(&cfg.dir)?;
+        let path = cfg.dir.join(format!(
+            "{}-s{:x}-p{}-{}.spill",
+            spec.name(),
+            spec.seed,
+            std::process::id(),
+            SPILL_FILE_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        spill_from_arc_stream(
+            parts.n,
+            &parts.chunks,
+            parts.dedup,
+            parts.stream.as_ref(),
+            cfg,
+            path,
+        )
+    }
+
+    /// Open and fully verify an existing spill file (magic, exact
+    /// length, monotone offsets, in-range targets, all checksums).
+    /// Corruption and truncation are reported as errors — an opened
+    /// `SpillCsr` is as trustworthy as a freshly built one. The file is
+    /// *not* deleted on drop.
+    pub fn open(path: &Path, cfg: &SpillConfig) -> io::Result<SpillCsr> {
+        let mut f = File::open(path)?;
+        let file_len = f.metadata()?.len();
+        let mut header = [0u8; HEADER_BYTES as usize];
+        f.read_exact(&mut header)
+            .map_err(|_| bad_data("spill file shorter than its header"))?;
+        if header[..8] != MAGIC {
+            return Err(bad_data("not a cxlg spill file (bad magic)"));
+        }
+        let word = |i: usize| u64::from_le_bytes(header[i * 8..i * 8 + 8].try_into().unwrap());
+        let (n, m) = (word(1), word(2));
+        let (offsets_fnv, targets_fnv, fingerprint) = (word(3), word(4), word(5));
+        if n > VertexId::MAX as u64 {
+            return Err(bad_data("implausible vertex count in spill header"));
+        }
+        let expected_len = (n + 1)
+            .checked_mul(8)
+            .and_then(|o| m.checked_mul(4).map(|t| (o, t)))
+            .and_then(|(o, t)| HEADER_BYTES.checked_add(o)?.checked_add(t))
+            .ok_or_else(|| bad_data("implausible sizes in spill header"))?;
+        if file_len != expected_len {
+            return Err(bad_data(&format!(
+                "spill file truncated or oversized: {file_len} bytes, expected {expected_len}"
+            )));
+        }
+
+        // Offsets region: monotone, closing at m, checksummed.
+        let mut reader = BufReader::with_capacity(1 << 20, &mut f);
+        let mut offsets = Vec::with_capacity(n as usize + 1);
+        let mut fp = Fnv1a::new();
+        let mut off_h = Fnv1a::new();
+        let mut word_buf = [0u8; 8];
+        let mut prev = 0u64;
+        for i in 0..=n {
+            reader.read_exact(&mut word_buf)?;
+            fp.update(&word_buf);
+            off_h.update(&word_buf);
+            let o = u64::from_le_bytes(word_buf);
+            if i > 0 && o < prev {
+                return Err(bad_data("spill offsets are not non-decreasing"));
+            }
+            prev = o;
+            offsets.push(o);
+        }
+        if prev != m {
+            return Err(bad_data("last spill offset does not equal the arc count"));
+        }
+        if off_h.finish() != offsets_fnv {
+            return Err(bad_data("spill offsets checksum mismatch"));
+        }
+
+        // Targets region: in-range, checksummed, fingerprint-closing.
+        let tgt_fnv = hash_targets(&mut reader, m, n, &mut fp)?;
+        if tgt_fnv != targets_fnv {
+            return Err(bad_data("spill targets checksum mismatch"));
+        }
+        if fp.finish() != fingerprint {
+            return Err(bad_data("spill fingerprint mismatch"));
+        }
+        drop(reader);
+
+        Ok(SpillCsr {
+            offsets,
+            file: Mutex::new(f),
+            path: path.to_path_buf(),
+            data_start: HEADER_BYTES + (n + 1) * 8,
+            num_targets: m,
+            fingerprint,
+            page_len: cfg.page_len.max(1),
+            cache_pages: cfg.cache_pages.max(1),
+            cache: Mutex::new(BTreeMap::new()),
+            tick: AtomicU64::new(0),
+            owns_file: false,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of directed edges (arcs).
+    pub fn num_edges(&self) -> u64 {
+        self.num_targets
+    }
+
+    /// Edge-list index range of `v`'s sublist.
+    pub fn sublist_range(&self, v: VertexId) -> (u64, u64) {
+        (self.offsets[v as usize], self.offsets[v as usize + 1])
+    }
+
+    /// The fingerprint computed (and verified) at build/open time —
+    /// byte-identical to [`Csr::fingerprint`] of the same graph.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Resident footprint: offsets plus the full page-cache budget.
+    pub fn resident_bytes(&self) -> u64 {
+        self.offsets.len() as u64 * 8 + self.cache_pages as u64 * self.page_len as u64 * 4
+    }
+
+    /// Size of the spill file on disk.
+    pub fn on_disk_bytes(&self) -> u64 {
+        self.data_start + self.num_targets * 4
+    }
+
+    /// Path of the spill file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Fully materialize into an in-memory [`Csr`]. This deliberately
+    /// defeats the point of spilling — it is for preprocessing paths
+    /// (relabeling studies) that need resident arrays, not for
+    /// traversal.
+    pub fn to_mem(&self) -> Csr {
+        let mut targets: Vec<VertexId> = Vec::with_capacity(self.num_targets as usize);
+        let pages = self.num_targets.div_ceil(self.page_len as u64);
+        for p in 0..pages {
+            targets.extend_from_slice(&self.page(p));
+        }
+        Csr::from_parts(self.offsets.clone(), targets)
+    }
+
+    /// Fetch (or page in) one cache page of targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a post-open read failure: the file was fully verified
+    /// at build/open, so a failing read mid-traversal is an environment
+    /// failure (file deleted, disk gone), unrecoverable like OOM.
+    fn page(&self, idx: u64) -> Arc<Vec<VertexId>> {
+        {
+            let mut cache = self.cache.lock().unwrap();
+            if let Some(e) = cache.get_mut(&idx) {
+                e.tick = self.tick.fetch_add(1, Ordering::Relaxed);
+                return e.data.clone();
+            }
+        }
+        // Read outside the cache lock; a concurrent miss on the same
+        // page just reads it twice and both insert identical data.
+        let start = idx * self.page_len as u64;
+        let len = (self.num_targets.min(start + self.page_len as u64) - start) as usize;
+        let mut bytes = vec![0u8; len * 4];
+        {
+            let mut f = self.file.lock().unwrap();
+            f.seek(SeekFrom::Start(self.data_start + start * 4))
+                .unwrap_or_else(|e| panic!("seek in spill file {}: {e}", self.path.display()));
+            f.read_exact(&mut bytes)
+                .unwrap_or_else(|e| panic!("read from spill file {}: {e}", self.path.display()));
+        }
+        let data: Arc<Vec<VertexId>> = Arc::new(
+            bytes
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+                .collect(),
+        );
+        let mut cache = self.cache.lock().unwrap();
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        cache.insert(
+            idx,
+            CacheEntry {
+                tick,
+                data: data.clone(),
+            },
+        );
+        while cache.len() > self.cache_pages {
+            // LRU eviction by explicit tick; BTreeMap iteration order is
+            // structural and the tie-break is the page index (D1-safe).
+            let victim = cache
+                .iter()
+                .min_by_key(|(k, e)| (e.tick, **k))
+                .map(|(k, _)| *k)
+                .expect("non-empty cache");
+            cache.remove(&victim);
+        }
+        data
+    }
+}
+
+impl Drop for SpillCsr {
+    fn drop(&mut self) {
+        if self.owns_file {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
+}
+
+impl CsrView for SpillCsr {
+    fn num_vertices(&self) -> usize {
+        SpillCsr::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> u64 {
+        SpillCsr::num_edges(self)
+    }
+
+    fn sublist_range(&self, v: VertexId) -> (u64, u64) {
+        SpillCsr::sublist_range(self, v)
+    }
+
+    fn with_neighbors(&self, v: VertexId, f: &mut dyn FnMut(&[VertexId])) {
+        let (s, e) = self.sublist_range(v);
+        let mut pos = s;
+        while pos < e {
+            let page_idx = pos / self.page_len as u64;
+            let page = self.page(page_idx);
+            let page_base = page_idx * self.page_len as u64;
+            let lo = (pos - page_base) as usize;
+            let hi = ((e - page_base) as usize).min(page.len());
+            f(&page[lo..hi]);
+            pos = page_base + hi as u64;
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        SpillCsr::fingerprint(self)
+    }
+}
+
+/// A graph in either storage backend. This is what the campaign cache
+/// holds; every consumer goes through [`CsrView`] (or the mirroring
+/// inherent methods) and never sees which backend it got.
+#[derive(Debug)]
+pub enum CsrStorage {
+    /// Fully resident arrays.
+    Mem(Csr),
+    /// File-backed demand-paged targets.
+    Spill(SpillCsr),
+}
+
+impl CsrStorage {
+    /// Build `spec` into the requested backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spill build hits an I/O error (unrecoverable for a
+    /// campaign, like OOM in mem mode).
+    pub fn build(spec: &GraphSpec, mode: StorageMode, spill: &SpillConfig) -> CsrStorage {
+        match mode {
+            StorageMode::Mem => CsrStorage::Mem(spec.build()),
+            StorageMode::Spill => CsrStorage::Spill(
+                SpillCsr::build(spec, spill)
+                    .unwrap_or_else(|e| panic!("spill build for {} failed: {e}", spec.name())),
+            ),
+        }
+    }
+
+    /// Which backend this graph lives in.
+    pub fn storage_mode(&self) -> StorageMode {
+        match self {
+            CsrStorage::Mem(_) => StorageMode::Mem,
+            CsrStorage::Spill(_) => StorageMode::Spill,
+        }
+    }
+
+    /// The in-memory CSR, if this is the mem backend.
+    pub fn as_mem(&self) -> Option<&Csr> {
+        match self {
+            CsrStorage::Mem(g) => Some(g),
+            CsrStorage::Spill(_) => None,
+        }
+    }
+
+    /// Fully materialize into an in-memory [`Csr`] (a clone for the mem
+    /// backend, a streaming read-back for spill). For preprocessing
+    /// paths that need resident arrays; traversal should stay on the
+    /// [`CsrView`] accessors.
+    pub fn to_mem(&self) -> Csr {
+        match self {
+            CsrStorage::Mem(g) => g.clone(),
+            CsrStorage::Spill(s) => s.to_mem(),
+        }
+    }
+
+    /// Resident footprint in bytes: full arrays for mem, offsets plus
+    /// the page-cache budget for spill.
+    pub fn resident_bytes(&self) -> u64 {
+        match self {
+            CsrStorage::Mem(g) => (g.num_vertices() as u64 + 1) * 8 + g.num_edges() * 4,
+            CsrStorage::Spill(s) => s.resident_bytes(),
+        }
+    }
+
+    /// Bytes on disk: 0 for mem, the spill file size for spill.
+    pub fn on_disk_bytes(&self) -> u64 {
+        match self {
+            CsrStorage::Mem(_) => 0,
+            CsrStorage::Spill(s) => s.on_disk_bytes(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        match self {
+            CsrStorage::Mem(g) => g.num_vertices(),
+            CsrStorage::Spill(s) => s.num_vertices(),
+        }
+    }
+
+    /// Number of directed edges (arcs).
+    pub fn num_edges(&self) -> u64 {
+        match self {
+            CsrStorage::Mem(g) => g.num_edges(),
+            CsrStorage::Spill(s) => s.num_edges(),
+        }
+    }
+
+    /// Out-degree of `v`.
+    pub fn degree(&self, v: VertexId) -> u64 {
+        let (s, e) = self.sublist_range(v);
+        e - s
+    }
+
+    /// Edge-list index range of `v`'s sublist.
+    pub fn sublist_range(&self, v: VertexId) -> (u64, u64) {
+        match self {
+            CsrStorage::Mem(g) => g.sublist_range(v),
+            CsrStorage::Spill(s) => s.sublist_range(v),
+        }
+    }
+
+    /// Backend-verified graph fingerprint (== [`Csr::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        match self {
+            CsrStorage::Mem(g) => g.fingerprint(),
+            CsrStorage::Spill(s) => s.fingerprint(),
+        }
+    }
+
+    /// The vertex with the largest out-degree (ties broken low).
+    pub fn max_degree_vertex(&self) -> Option<VertexId> {
+        match self {
+            CsrStorage::Mem(g) => g.max_degree_vertex(),
+            CsrStorage::Spill(s) => CsrView::max_degree_vertex(s),
+        }
+    }
+
+    /// Number of vertices with degree zero.
+    pub fn num_isolated(&self) -> usize {
+        match self {
+            CsrStorage::Mem(g) => g.num_isolated(),
+            CsrStorage::Spill(s) => CsrView::num_isolated(s),
+        }
+    }
+
+    /// Materialized neighbor sublist of `v`.
+    pub fn neighbors_vec(&self, v: VertexId) -> Vec<VertexId> {
+        match self {
+            CsrStorage::Mem(g) => g.neighbors(v).to_vec(),
+            CsrStorage::Spill(s) => CsrView::neighbors_vec(s, v),
+        }
+    }
+
+    /// Deterministic SSSP edge weight (see [`crate::csr::edge_weight`]).
+    pub fn edge_weight(&self, u: VertexId, v: VertexId, max_weight: u32) -> u32 {
+        edge_weight(u, v, max_weight)
+    }
+}
+
+impl CsrView for CsrStorage {
+    fn num_vertices(&self) -> usize {
+        CsrStorage::num_vertices(self)
+    }
+
+    fn num_edges(&self) -> u64 {
+        CsrStorage::num_edges(self)
+    }
+
+    fn sublist_range(&self, v: VertexId) -> (u64, u64) {
+        CsrStorage::sublist_range(self, v)
+    }
+
+    fn with_neighbors(&self, v: VertexId, f: &mut dyn FnMut(&[VertexId])) {
+        match self {
+            CsrStorage::Mem(g) => f(g.neighbors(v)),
+            CsrStorage::Spill(s) => s.with_neighbors(v, f),
+        }
+    }
+
+    fn fingerprint(&self) -> u64 {
+        CsrStorage::fingerprint(self)
+    }
+}
+
+fn bad_data(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Stream `m` targets out of `reader`, feeding both the standalone
+/// targets checksum and the running whole-graph fingerprint, and
+/// rejecting any target `>= n`. Shared by the build finalizer and
+/// [`SpillCsr::open`] so they enforce identical invariants.
+fn hash_targets(reader: &mut impl Read, m: u64, n: u64, fp: &mut Fnv1a) -> io::Result<u64> {
+    let mut tgt_h = Fnv1a::new();
+    let mut buf = [0u8; 1 << 16];
+    let mut remaining = m * 4;
+    while remaining > 0 {
+        let take = (buf.len() as u64).min(remaining) as usize;
+        reader.read_exact(&mut buf[..take])?;
+        for c in buf[..take].chunks_exact(4) {
+            if u32::from_le_bytes(c.try_into().unwrap()) as u64 >= n {
+                return Err(bad_data("spill target out of range"));
+            }
+        }
+        tgt_h.update(&buf[..take]);
+        fp.update(&buf[..take]);
+        remaining -= take as u64;
+    }
+    Ok(tgt_h.finish())
+}
+
+/// The spill builder — the out-of-core sibling of
+/// [`crate::builder::csr_from_arc_stream`], with the same stream
+/// contract (identical arcs on every invocation, panics on drift) and
+/// the same sorted-sublist/dedup semantics, but bounded peak memory:
+///
+/// 1. **Count** — stream all chunks in parallel, atomic per-vertex
+///    out-degrees (identical to the in-memory pass 1).
+/// 2. **Partition** — carve vertices into contiguous segments of at
+///    most `segment_arcs` counted arcs, then stream all chunks again,
+///    appending each packed arc to its segment's bucket file. Bucket
+///    write order is thread-dependent; the per-sublist sort erases it.
+/// 3. **Collate** — per segment in vertex order: read the bucket back,
+///    scatter into a segment-local buffer (auditing the counts from
+///    pass 1), sort each sublist (+ dedup), append the surviving
+///    targets to the spill file, delete the bucket.
+///
+/// The fingerprint is then computed by hashing the final offsets and
+/// re-reading the written targets region — the same verification
+/// [`SpillCsr::open`] performs, so a freshly built spill is already
+/// checked end to end.
+fn spill_from_arc_stream(
+    n: usize,
+    chunks: &[(u64, usize)],
+    dedup: bool,
+    stream: &(dyn Fn(u64, usize, &mut dyn FnMut(VertexId, VertexId)) + Sync),
+    cfg: &SpillConfig,
+    path: PathBuf,
+) -> io::Result<SpillCsr> {
+    // ---- Pass 1: per-vertex out-degree counts (identical to the
+    // in-memory builder's counting pass).
+    let counts: Vec<AtomicU64> = std::iter::repeat_with(|| AtomicU64::new(0)).take(n).collect();
+    chunks.par_iter().for_each(|&(chunk, len)| {
+        stream(chunk, len, &mut |src, dst| {
+            assert!((src as usize) < n, "arc with src {src} out of range (n = {n})");
+            assert!((dst as usize) < n, "arc with dst {dst} out of range (n = {n})");
+            counts[src as usize].fetch_add(1, Ordering::Relaxed);
+        });
+    });
+    let mut counted_offsets: Vec<u64> = Vec::with_capacity(n + 1);
+    let mut acc = 0u64;
+    counted_offsets.push(0);
+    for c in &counts {
+        acc += c.load(Ordering::Relaxed);
+        counted_offsets.push(acc);
+    }
+    drop(counts);
+
+    // Segment boundaries: contiguous vertex ranges of at most
+    // `segment_arcs` counted arcs (an over-budget vertex gets its own
+    // segment). Boundaries depend only on the counts, never on thread
+    // scheduling.
+    let segment_arcs = cfg.segment_arcs.max(1);
+    let mut seg_bounds: Vec<usize> = vec![0];
+    let mut v = 0usize;
+    while v < n {
+        let limit = counted_offsets[v].saturating_add(segment_arcs);
+        let w = counted_offsets
+            .partition_point(|&o| o <= limit)
+            .saturating_sub(1)
+            .clamp(v + 1, n);
+        seg_bounds.push(w);
+        v = w;
+    }
+    let num_segs = seg_bounds.len() - 1;
+    let seg_of = |src: VertexId| seg_bounds.partition_point(|&b| b <= src as usize) - 1;
+
+    // ---- Pass 2: partition the regenerated arcs into per-segment
+    // bucket files (packed u64 LE). Per-chunk local buffers keep bucket
+    // writes large and the writer locks uncontended.
+    fs::create_dir_all(&cfg.dir)?;
+    let bucket_paths: Vec<PathBuf> = (0..num_segs)
+        .map(|s| path.with_extension(format!("bucket{s}")))
+        .collect();
+    let writers: Vec<Mutex<BufWriter<File>>> = bucket_paths
+        .iter()
+        .map(|p| File::create(p).map(|f| Mutex::new(BufWriter::with_capacity(1 << 16, f))))
+        .collect::<io::Result<_>>()?;
+    let io_fail: Mutex<Option<io::Error>> = Mutex::new(None);
+    chunks.par_iter().for_each(|&(chunk, len)| {
+        let mut local: Vec<Vec<u8>> = vec![Vec::new(); num_segs];
+        stream(chunk, len, &mut |src, dst| {
+            assert!((src as usize) < n, "arc with src {src} out of range (n = {n})");
+            assert!((dst as usize) < n, "arc with dst {dst} out of range (n = {n})");
+            local[seg_of(src)].extend_from_slice(&pack_arc(src, dst).to_le_bytes());
+        });
+        for (s, buf) in local.iter().enumerate() {
+            if buf.is_empty() {
+                continue;
+            }
+            let mut w = writers[s].lock().unwrap();
+            if let Err(e) = w.write_all(buf) {
+                io_fail.lock().unwrap().get_or_insert(e);
+            }
+        }
+    });
+    for w in writers {
+        w.into_inner()
+            .unwrap()
+            .into_inner()
+            .map_err(|e| e.into_error())?
+            .sync_data()
+            .or(Ok::<(), io::Error>(()))?;
+    }
+    if let Some(e) = io_fail.into_inner().unwrap() {
+        return Err(e);
+    }
+
+    // ---- Pass 3: collate each segment in vertex order and append the
+    // sorted (and optionally deduplicated) sublists to the spill file.
+    let data_start = HEADER_BYTES + (n as u64 + 1) * 8;
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&path)?;
+    file.set_len(data_start)?;
+    file.seek(SeekFrom::Start(data_start))?;
+    let mut out = BufWriter::with_capacity(1 << 20, &mut file);
+    let mut final_degrees: Vec<u64> = vec![0; n];
+    for s in 0..num_segs {
+        let (first, last) = (seg_bounds[s], seg_bounds[s + 1]);
+        let seg_base = counted_offsets[first];
+        let seg_len = (counted_offsets[last] - seg_base) as usize;
+        let bytes = fs::read(&bucket_paths[s])?;
+        if bytes.len() != seg_len * 8 {
+            panic!(
+                "stream emitted different arcs across passes (segment {s}: \
+                 {} arcs on disk, counted {seg_len})",
+                bytes.len() / 8
+            );
+        }
+        let mut cursors: Vec<u64> = counted_offsets[first..last]
+            .iter()
+            .map(|&o| o - seg_base)
+            .collect();
+        let mut seg_targets: Vec<VertexId> = vec![0; seg_len];
+        for a in bytes.chunks_exact(8) {
+            let (src, dst) = unpack_arc(u64::from_le_bytes(a.try_into().unwrap()));
+            let sv = src as usize;
+            assert!(
+                (first..last).contains(&sv),
+                "stream emitted different arcs across passes \
+                 (arc source {src} outside segment {first}..{last})"
+            );
+            let slot = cursors[sv - first];
+            assert!(
+                slot < counted_offsets[sv + 1] - seg_base,
+                "stream emitted different arcs across passes \
+                 (vertex {src}: more arcs than counted)"
+            );
+            cursors[sv - first] += 1;
+            seg_targets[slot as usize] = dst;
+        }
+        for v in first..last {
+            if cursors[v - first] != counted_offsets[v + 1] - seg_base {
+                panic!(
+                    "stream emitted different arcs across passes \
+                     (vertex {v}: fewer arcs than counted)"
+                );
+            }
+        }
+        drop(bytes);
+        for v in first..last {
+            let lo = (counted_offsets[v] - seg_base) as usize;
+            let hi = (counted_offsets[v + 1] - seg_base) as usize;
+            let sublist = &mut seg_targets[lo..hi];
+            sublist.sort_unstable();
+            let keep = if dedup {
+                // In-place dedup of a sorted run, as in the in-memory
+                // builder's pass 3.
+                let mut k = 0;
+                for i in 0..sublist.len() {
+                    if i == 0 || sublist[i] != sublist[k - 1] {
+                        sublist[k] = sublist[i];
+                        k += 1;
+                    }
+                }
+                k
+            } else {
+                sublist.len()
+            };
+            final_degrees[v] = keep as u64;
+            for &t in &sublist[..keep] {
+                out.write_all(&t.to_le_bytes())?;
+            }
+        }
+        fs::remove_file(&bucket_paths[s])?;
+    }
+    out.flush()?;
+    drop(out);
+
+    // ---- Finalize: offsets from the post-dedup degrees, then checksums
+    // and the fingerprint by re-reading what was just written (the same
+    // verification `open` performs).
+    let mut offsets: Vec<u64> = Vec::with_capacity(n + 1);
+    let mut acc = 0u64;
+    offsets.push(0);
+    for &d in &final_degrees {
+        acc += d;
+        offsets.push(acc);
+    }
+    let m = acc;
+    let mut fp = Fnv1a::new();
+    let mut off_h = Fnv1a::new();
+    for &o in &offsets {
+        let b = o.to_le_bytes();
+        fp.update(&b);
+        off_h.update(&b);
+    }
+    file.seek(SeekFrom::Start(data_start))?;
+    let mut reader = BufReader::with_capacity(1 << 20, &mut file);
+    let targets_fnv = hash_targets(&mut reader, m, n as u64, &mut fp)?;
+    drop(reader);
+    let fingerprint = fp.finish();
+
+    file.seek(SeekFrom::Start(0))?;
+    let mut head = BufWriter::with_capacity(1 << 20, &mut file);
+    head.write_all(&MAGIC)?;
+    head.write_all(&(n as u64).to_le_bytes())?;
+    head.write_all(&m.to_le_bytes())?;
+    head.write_all(&off_h.finish().to_le_bytes())?;
+    head.write_all(&targets_fnv.to_le_bytes())?;
+    head.write_all(&fingerprint.to_le_bytes())?;
+    for &o in &offsets {
+        head.write_all(&o.to_le_bytes())?;
+    }
+    head.flush()?;
+    drop(head);
+
+    Ok(SpillCsr {
+        offsets,
+        file: Mutex::new(file),
+        path,
+        data_start,
+        num_targets: m,
+        fingerprint,
+        page_len: cfg.page_len.max(1),
+        cache_pages: cfg.cache_pages.max(1),
+        cache: Mutex::new(BTreeMap::new()),
+        tick: AtomicU64::new(0),
+        owns_file: true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_cfg(tag: &str) -> SpillConfig {
+        let dir = std::env::temp_dir().join(format!("cxlg-spill-test-{}-{tag}", std::process::id()));
+        SpillConfig::new(dir)
+    }
+
+    fn tiny_cfg(tag: &str) -> SpillConfig {
+        // Pathologically small pages/segments so every code path
+        // (multi-window sublists, eviction, multi-segment builds) runs
+        // even on small graphs.
+        let mut cfg = test_cfg(tag);
+        cfg.page_len = 8;
+        cfg.cache_pages = 2;
+        cfg.segment_arcs = 64;
+        cfg
+    }
+
+    #[test]
+    fn spill_build_matches_mem_build_exactly() {
+        for spec in [
+            GraphSpec::urand(8).seed(3),
+            GraphSpec::kron(8).seed(3),
+            GraphSpec::friendster_like(8).seed(3),
+        ] {
+            let mem = spec.build();
+            let spill = SpillCsr::build(&spec, &tiny_cfg("match")).expect("spill build");
+            assert_eq!(spill.num_vertices(), mem.num_vertices(), "{}", spec.name());
+            assert_eq!(spill.num_edges(), mem.num_edges(), "{}", spec.name());
+            assert_eq!(spill.fingerprint(), mem.fingerprint(), "{}", spec.name());
+            for v in 0..mem.num_vertices() as VertexId {
+                assert_eq!(
+                    CsrView::neighbors_vec(&spill, v),
+                    mem.neighbors(v),
+                    "{} vertex {v}",
+                    spec.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn storage_enum_mirrors_either_backend() {
+        let spec = GraphSpec::urand(7).seed(1);
+        let mem = CsrStorage::build(&spec, StorageMode::Mem, &test_cfg("enum"));
+        let spill = CsrStorage::build(&spec, StorageMode::Spill, &tiny_cfg("enum"));
+        assert_eq!(mem.storage_mode(), StorageMode::Mem);
+        assert_eq!(spill.storage_mode(), StorageMode::Spill);
+        assert!(mem.as_mem().is_some());
+        assert!(spill.as_mem().is_none());
+        assert_eq!(mem.fingerprint(), spill.fingerprint());
+        assert_eq!(mem.num_edges(), spill.num_edges());
+        assert_eq!(mem.max_degree_vertex(), spill.max_degree_vertex());
+        assert_eq!(mem.num_isolated(), spill.num_isolated());
+        assert!(
+            spill.resident_bytes() < mem.resident_bytes(),
+            "tiny page cache must undercut the fully resident arrays"
+        );
+        assert_eq!(mem.on_disk_bytes(), 0);
+        assert!(spill.on_disk_bytes() > 0);
+        for v in [0u32, 1, 63, 127] {
+            assert_eq!(mem.neighbors_vec(v), spill.neighbors_vec(v));
+            assert_eq!(mem.degree(v), spill.degree(v));
+            assert_eq!(mem.edge_weight(v, v + 1, 64), spill.edge_weight(v, v + 1, 64));
+        }
+    }
+
+    #[test]
+    fn open_round_trips_a_built_spill() {
+        let spec = GraphSpec::kron(7).seed(9);
+        let cfg = tiny_cfg("roundtrip");
+        let built = SpillCsr::build(&spec, &cfg).expect("build");
+        // `open` must re-verify and agree; keep `built` alive (it owns
+        // and would otherwise delete the file).
+        let opened = SpillCsr::open(built.path(), &cfg).expect("open");
+        assert_eq!(opened.fingerprint(), built.fingerprint());
+        assert_eq!(opened.num_edges(), built.num_edges());
+        for v in 0..opened.num_vertices() as VertexId {
+            assert_eq!(
+                CsrView::neighbors_vec(&opened, v),
+                CsrView::neighbors_vec(&built, v)
+            );
+        }
+    }
+
+    #[test]
+    fn built_spill_deletes_its_file_on_drop() {
+        let spec = GraphSpec::urand(6).seed(2);
+        let cfg = test_cfg("drop");
+        let built = SpillCsr::build(&spec, &cfg).expect("build");
+        let path = built.path().to_path_buf();
+        assert!(path.is_file());
+        drop(built);
+        assert!(!path.exists(), "owned spill file must be removed on drop");
+    }
+
+    #[test]
+    fn open_rejects_corruption_and_truncation() {
+        let spec = GraphSpec::urand(6).seed(4);
+        let cfg = test_cfg("corrupt");
+        let built = SpillCsr::build(&spec, &cfg).expect("build");
+        let bytes = fs::read(built.path()).expect("read spill");
+
+        let dir = cfg.dir.clone();
+        let write_variant = |name: &str, data: &[u8]| {
+            let p = dir.join(name);
+            fs::write(&p, data).expect("write variant");
+            p
+        };
+
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xFF;
+        let p = write_variant("bad-magic.spill", &bad);
+        assert!(SpillCsr::open(&p, &cfg).is_err(), "bad magic must not open");
+
+        // Flipped target byte: targets checksum catches it.
+        let mut bad = bytes.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x01;
+        let p = write_variant("bad-target.spill", &bad);
+        let err = SpillCsr::open(&p, &cfg).expect_err("corrupt target must not open");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Truncated file.
+        let p = write_variant("truncated.spill", &bytes[..bytes.len() - 5]);
+        let err = SpillCsr::open(&p, &cfg).expect_err("truncated file must not open");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+
+        // Truncated to mid-header.
+        let p = write_variant("header-only.spill", &bytes[..20]);
+        assert!(SpillCsr::open(&p, &cfg).is_err(), "mid-header truncation");
+    }
+
+    #[test]
+    fn storage_mode_parses_and_labels() {
+        assert_eq!(StorageMode::parse("mem"), Some(StorageMode::Mem));
+        assert_eq!(StorageMode::parse("spill"), Some(StorageMode::Spill));
+        assert_eq!(StorageMode::parse("mmap"), None);
+        assert_eq!(StorageMode::Mem.label(), "mem");
+        assert_eq!(StorageMode::Spill.label(), "spill");
+        assert_eq!(StorageMode::default(), StorageMode::Mem);
+    }
+
+    /// Generic consumers must accept any backend by reference, by `Arc`,
+    /// or as a trait object — this is what lets the traversal and
+    /// statistics layers stay backend-agnostic.
+    fn sum_degrees<G: CsrView + ?Sized>(g: &G) -> u64 {
+        (0..g.num_vertices() as VertexId).map(|v| g.degree(v)).sum()
+    }
+
+    #[test]
+    fn csr_view_is_object_and_arc_compatible() {
+        let spec = GraphSpec::urand(6).seed(8);
+        let mem = spec.build();
+        let spill = SpillCsr::build(&spec, &tiny_cfg("object")).expect("build");
+        let m = mem.num_edges();
+        assert_eq!(sum_degrees(&mem), m);
+        assert_eq!(sum_degrees(&spill), m);
+        let arc: Arc<CsrStorage> = Arc::new(CsrStorage::Spill(spill));
+        assert_eq!(sum_degrees(&arc), m);
+        let dyn_view: &dyn CsrView = arc.as_ref();
+        assert_eq!(sum_degrees(dyn_view), m);
+        assert_eq!(dyn_view.fingerprint(), mem.fingerprint());
+    }
+}

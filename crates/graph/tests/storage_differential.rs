@@ -1,0 +1,164 @@
+//! Differential tests between the two CSR storage backends.
+//!
+//! The spill backend must be an *exact* stand-in for the in-memory CSR:
+//! same fingerprint, same neighbor slices, same degree statistics — for
+//! every generator family, at any page/segment granularity, built on
+//! any thread count. These tests sweep that space with proptest and pin
+//! the negative side of the file format: a corrupted or truncated spill
+//! file must fail `open` with an error, never produce wrong neighbors.
+//!
+//! This is the bottom rung of the scale ladder toward the paper's
+//! scale 27: ci.sh extends the same fingerprint gate to scales 18–22
+//! through `cxlg graph-mem --storage=`.
+
+use cxlg_graph::stats::DegreeStats;
+use cxlg_graph::{Csr, CsrView, GraphSpec, SpillConfig, SpillCsr, StorageMode};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("cxlg-storage-diff-{tag}-{}", std::process::id()))
+}
+
+fn cfg(tag: &str, page_len: usize, cache_pages: usize, segment_arcs: u64) -> SpillConfig {
+    let mut cfg = SpillConfig::new(tmp_dir(tag));
+    cfg.page_len = page_len;
+    cfg.cache_pages = cache_pages;
+    cfg.segment_arcs = segment_arcs;
+    cfg
+}
+
+/// The full agreement contract: global shape, fingerprint, per-vertex
+/// degree and neighbor slice (reassembled across page boundaries), and
+/// the derived degree statistics.
+fn assert_backends_agree(label: &str, mem: &Csr, spill: &SpillCsr) {
+    assert_eq!(spill.num_vertices(), mem.num_vertices(), "{label}: vertex count");
+    assert_eq!(spill.num_edges(), mem.num_edges(), "{label}: edge count");
+    assert_eq!(spill.fingerprint(), mem.fingerprint(), "{label}: fingerprint");
+    for v in 0..mem.num_vertices() as u32 {
+        assert_eq!(
+            CsrView::degree(spill, v),
+            mem.degree(v),
+            "{label}: degree of {v}"
+        );
+        assert_eq!(
+            spill.neighbors_vec(v),
+            mem.neighbors(v),
+            "{label}: neighbor slice of {v}"
+        );
+    }
+    assert_eq!(
+        DegreeStats::compute(spill),
+        DegreeStats::compute(mem),
+        "{label}: degree stats"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random graphs × every family × random page/segment granularity ×
+    /// 1/2/8 build threads all agree with the mem-built reference.
+    #[test]
+    fn spill_matches_mem_across_chunking_and_threads(
+        family in 0u8..3,
+        scale in 5u32..9,
+        seed in 0u64..1_000_000,
+        page_pow in 3u32..9,        // 8..=256 targets per page
+        segment_arcs in 32u64..4096, // forces multi-segment builds
+    ) {
+        let spec = match family {
+            0 => GraphSpec::urand(scale),
+            1 => GraphSpec::kron(scale),
+            _ => GraphSpec::friendster_like(scale),
+        }
+        .seed(seed);
+        let mem = spec.build();
+        let cfg = cfg("prop", 1 << page_pow, 2, segment_arcs);
+        for threads in [1usize, 2, 8] {
+            let spill = rayon::with_num_threads(threads, || {
+                SpillCsr::build(&spec, &cfg).expect("spill build")
+            });
+            assert_backends_agree(
+                &format!("{} t{threads} p{page_pow} s{segment_arcs}", spec.name()),
+                &mem,
+                &spill,
+            );
+        }
+    }
+
+    /// The enum front end routes to the same bytes as the backends it
+    /// wraps, whichever mode is selected.
+    #[test]
+    fn storage_enum_is_mode_invariant(scale in 5u32..8, seed in 0u64..1_000_000) {
+        let spec = GraphSpec::urand(scale).seed(seed);
+        let cfg = cfg("enum", 64, 2, 512);
+        let mem = spec.build_with(StorageMode::Mem, &cfg);
+        let spill = spec.build_with(StorageMode::Spill, &cfg);
+        prop_assert_eq!(mem.fingerprint(), spill.fingerprint());
+        prop_assert_eq!(mem.num_vertices(), spill.num_vertices());
+        prop_assert_eq!(mem.num_edges(), spill.num_edges());
+        // Round-tripping the spill graph back to memory reproduces the
+        // mem build exactly.
+        let rebuilt = spill.to_mem();
+        prop_assert_eq!(mem.as_mem().expect("mem mode holds a Csr"), &rebuilt);
+    }
+}
+
+/// Every corrupted byte region — magic, header counts, checksums,
+/// offsets, targets — and every truncation point must fail `open` with
+/// an error. Nothing here may panic or return a graph.
+#[test]
+fn corrupt_and_truncated_spill_files_error_cleanly() {
+    let spec = GraphSpec::urand(6).seed(3);
+    let cfg = cfg("neg", 16, 2, 64);
+    let dir = tmp_dir("neg");
+    let built = SpillCsr::build(&spec, &cfg).expect("spill build");
+    let copy = dir.join("copy.spill");
+    std::fs::copy(built.path(), &copy).expect("copy spill file");
+    drop(built); // deletes the original; the copy persists
+
+    // The pristine copy opens and still matches the mem build.
+    let opened = SpillCsr::open(&copy, &cfg).expect("open pristine copy");
+    assert_backends_agree("reopened copy", &spec.build(), &opened);
+    drop(opened); // opened (not built) spills must NOT delete their file
+    assert!(copy.is_file(), "open must not take ownership of the file");
+
+    let pristine = std::fs::read(&copy).expect("read spill bytes");
+    let len = pristine.len();
+    // Byte flips: magic (0), vertex count (9), header fingerprint (47),
+    // first offset (48), somewhere in the offsets, first and last target
+    // bytes.
+    let offsets_end = 48 + (spec.build().num_vertices() + 1) * 8;
+    for pos in [0, 9, 47, 48, offsets_end - 1, offsets_end, len - 1] {
+        let mut bytes = pristine.clone();
+        bytes[pos] ^= 0xFF;
+        let bad = dir.join(format!("bad-{pos}.spill"));
+        std::fs::write(&bad, &bytes).expect("write corrupted file");
+        let err = SpillCsr::open(&bad, &cfg)
+            .err()
+            .unwrap_or_else(|| panic!("corruption at byte {pos} must fail open"));
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "byte {pos}");
+        let _ = std::fs::remove_file(&bad);
+    }
+    // Truncations (including an empty file) and one extension: the
+    // format's length is exact, so every wrong size is rejected.
+    let mut extended = pristine.clone();
+    extended.push(0);
+    let wrong_sizes: Vec<Vec<u8>> = [0usize, 10, 47, 48, len / 2, len - 1]
+        .iter()
+        .map(|&cut| pristine[..cut].to_vec())
+        .chain(std::iter::once(extended))
+        .collect();
+    for (i, bytes) in wrong_sizes.iter().enumerate() {
+        let bad = dir.join(format!("short-{i}.spill"));
+        std::fs::write(&bad, bytes).expect("write resized file");
+        let err = SpillCsr::open(&bad, &cfg)
+            .err()
+            .unwrap_or_else(|| panic!("wrong file size {} must fail open", bytes.len()));
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "size {}", bytes.len());
+        let _ = std::fs::remove_file(&bad);
+    }
+    let _ = std::fs::remove_file(&copy);
+    let _ = std::fs::remove_dir(&dir);
+}

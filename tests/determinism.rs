@@ -192,3 +192,40 @@ fn different_seeds_change_results_but_not_shape() {
     let rb = b.metrics.runtime.as_secs_f64();
     assert!((ra / rb - 1.0).abs() < 0.25, "{ra} vs {rb}");
 }
+
+#[test]
+fn spill_storage_is_byte_identical_to_mem_across_the_stack() {
+    // The out-of-core graph backend is an execution strategy, not a
+    // result input: the exact serialized reports the figure binaries
+    // dump must come out byte-for-byte the same whether the CSR lives
+    // in memory or is demand-paged from a spill file — at any thread
+    // count. This is the in-process version of ci.sh's spill-campaign
+    // byte-diff gate.
+    use cxl_gpu_graph::graph::{SpillConfig, StorageMode};
+    let spec = GraphSpec::kron(10).seed(42);
+    let dir = std::env::temp_dir().join(format!("cxlg-spill-diff-{}", std::process::id()));
+    let cfg = SpillConfig::new(&dir);
+    let mem = spec.build_with(StorageMode::Mem, &cfg);
+    let spill = spec.build_with(StorageMode::Spill, &cfg);
+    assert_eq!(mem.fingerprint(), spill.fingerprint(), "backends must hold the same graph");
+
+    let systems: Vec<Sys> = (0..4)
+        .map(|i| Sys::emogi_on_cxl(PcieGen::Gen3, 5).with_added_latency_us(i as f64 * 0.4))
+        .collect();
+    let src = mem.max_degree_vertex().unwrap();
+    let reference: Vec<String> = [Traversal::bfs(src), Traversal::sssp(src), Traversal::pagerank(2)]
+        .into_iter()
+        .map(|t| serde_json::to_string(&sweep_systems(&mem, t, &systems)).unwrap())
+        .collect();
+    for threads in [1usize, 2, 8] {
+        let got: Vec<String> = rayon::with_num_threads(threads, || {
+            [Traversal::bfs(src), Traversal::sssp(src), Traversal::pagerank(2)]
+                .into_iter()
+                .map(|t| serde_json::to_string(&sweep_systems(&spill, t, &systems)).unwrap())
+                .collect()
+        });
+        assert_eq!(got, reference, "spill reports diverge at {threads} thread(s)");
+    }
+    drop(spill);
+    let _ = std::fs::remove_dir(&dir);
+}
